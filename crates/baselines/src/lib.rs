@@ -1,0 +1,22 @@
+//! Classical join processing — the baselines NPRR §1/§6 compares against.
+//!
+//! * [`pairwise`] — the textbook binary join algorithms: hash join (via the
+//!   storage layer), **sort-merge join**, and **block nested-loop join**,
+//!   each implemented independently so they can cross-check each other;
+//! * [`plan`] — binary join-plan trees (with optional projections — the
+//!   "join-project plans" of §6) and an instrumented executor reporting
+//!   the maximum intermediate cardinality, the quantity §6's lower bounds
+//!   constrain;
+//! * [`optimizer`] — a System-R-style enumerator: exhaustive left-deep
+//!   search under independence-assumption cardinality estimates for small
+//!   queries, greedy otherwise, plus an *oracle* mode that executes every
+//!   left-deep order and reports the best **actual** max-intermediate (used
+//!   by experiment E7 to show that even the best possible binary plan pays
+//!   `Ω(N²/n²)` on Lemma 6.1 instances).
+
+pub mod optimizer;
+pub mod pairwise;
+pub mod plan;
+
+pub use optimizer::{best_actual_left_deep, estimate_join_size, optimize_left_deep};
+pub use plan::{execute, execute_left_deep, ExecStats, JoinPlan};

@@ -1,0 +1,272 @@
+//! A System-R-flavoured plan enumerator for binary join plans.
+//!
+//! Two modes:
+//!
+//! * [`optimize_left_deep`] — estimates intermediate sizes with the
+//!   textbook independence assumption (`|R ⋈ S| ≈ |R|·|S| / ∏ max(d_R(a),
+//!   d_S(a))` over shared attributes `a`, with `d` = distinct count) and
+//!   returns the cheapest left-deep order: exhaustively for `m ≤ 8`,
+//!   greedily beyond.
+//! * [`best_actual_left_deep`] — the *oracle*: executes **every** left-deep
+//!   order and returns the order minimising the actual maximum
+//!   intermediate. §6's point is that on the hard instances even this
+//!   oracle pays `Ω(N²/n²)`; giving the baseline oracle powers makes the
+//!   experiment's conclusion stronger.
+
+use crate::plan::{execute_left_deep, ExecStats};
+use wcoj_storage::hash::FxHashSet;
+use wcoj_storage::{Attr, Relation};
+
+/// Distinct value count per attribute of a relation.
+fn distinct_counts(rel: &Relation) -> Vec<(Attr, usize)> {
+    rel.schema()
+        .attrs()
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let mut seen: FxHashSet<u64> = FxHashSet::default();
+            for row in rel.iter_rows() {
+                seen.insert(row[i].0);
+            }
+            (a, seen.len().max(1))
+        })
+        .collect()
+}
+
+/// Independence-assumption estimate of `|L ⋈ R|` given the two sides'
+/// cardinalities and per-attribute distinct counts.
+#[must_use]
+pub fn estimate_join_size(
+    l_card: f64,
+    l_distinct: &[(Attr, usize)],
+    r_card: f64,
+    r_distinct: &[(Attr, usize)],
+) -> f64 {
+    let mut denom = 1.0f64;
+    for &(a, dl) in l_distinct {
+        if let Some(&(_, dr)) = r_distinct.iter().find(|&&(b, _)| b == a) {
+            denom *= dl.max(dr) as f64;
+        }
+    }
+    (l_card * r_card / denom).max(0.0)
+}
+
+/// Merged distinct-count profile of a (hypothetical) join result.
+fn merge_profiles(
+    l: &[(Attr, usize)],
+    r: &[(Attr, usize)],
+) -> Vec<(Attr, usize)> {
+    let mut out = l.to_vec();
+    for &(a, d) in r {
+        match out.iter_mut().find(|(b, _)| *b == a) {
+            Some((_, dl)) => *dl = (*dl).min(d),
+            None => out.push((a, d)),
+        }
+    }
+    out
+}
+
+/// Estimated max-intermediate cost of a left-deep order.
+fn estimate_order_cost(
+    order: &[usize],
+    cards: &[f64],
+    profiles: &[Vec<(Attr, usize)>],
+) -> f64 {
+    let mut card = cards[order[0]];
+    let mut profile = profiles[order[0]].clone();
+    let mut max_est = card;
+    for &i in &order[1..] {
+        card = estimate_join_size(card, &profile, cards[i], &profiles[i]);
+        profile = merge_profiles(&profile, &profiles[i]);
+        max_est = max_est.max(card);
+    }
+    max_est
+}
+
+/// Returns the left-deep order with the smallest **estimated** maximum
+/// intermediate: exhaustive for `m ≤ 8`, greedy (smallest estimated next
+/// join) above.
+#[must_use]
+pub fn optimize_left_deep(relations: &[Relation]) -> Vec<usize> {
+    let m = relations.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let cards: Vec<f64> = relations.iter().map(|r| r.len() as f64).collect();
+    let profiles: Vec<Vec<(Attr, usize)>> = relations.iter().map(distinct_counts).collect();
+
+    if m <= 8 {
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        permute((0..m).collect(), &mut |order| {
+            let cost = estimate_order_cost(order, &cards, &profiles);
+            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                best = Some((order.to_vec(), cost));
+            }
+        });
+        best.expect("at least one order").0
+    } else {
+        // greedy: start from the smallest relation, repeatedly add the
+        // relation minimising the estimated next intermediate.
+        let mut remaining: Vec<usize> = (0..m).collect();
+        remaining.sort_by(|&a, &b| cards[a].total_cmp(&cards[b]));
+        let mut order = vec![remaining.remove(0)];
+        let mut card = cards[order[0]];
+        let mut profile = profiles[order[0]].clone();
+        while !remaining.is_empty() {
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| {
+                    (
+                        pos,
+                        estimate_join_size(card, &profile, cards[i], &profiles[i]),
+                    )
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty remaining");
+            let i = remaining.remove(pos);
+            card = estimate_join_size(card, &profile, cards[i], &profiles[i]);
+            profile = merge_profiles(&profile, &profiles[i]);
+            order.push(i);
+        }
+        order
+    }
+}
+
+/// Executes every left-deep order (`m! ` of them — callers keep `m` small)
+/// and returns `(best_order, its stats)` minimising the **actual** maximum
+/// intermediate cardinality.
+///
+/// # Panics
+/// Panics if `relations` is empty or `m > 8` (guard against factorial
+/// blow-up).
+#[must_use]
+pub fn best_actual_left_deep(relations: &[Relation]) -> (Vec<usize>, ExecStats) {
+    let m = relations.len();
+    assert!((1..=8).contains(&m), "oracle search limited to 1..=8 relations");
+    let mut best: Option<(Vec<usize>, ExecStats)> = None;
+    permute((0..m).collect(), &mut |order| {
+        let (_, stats) = execute_left_deep(relations, order).expect("join-only plan");
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| stats.max_intermediate < b.max_intermediate)
+        {
+            best = Some((order.to_vec(), stats));
+        }
+    });
+    best.expect("m ≥ 1")
+}
+
+/// Heap's algorithm, calling `f` with each permutation.
+fn permute(mut items: Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    let n = items.len();
+    let mut c = vec![0usize; n];
+    f(&items);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                items.swap(0, i);
+            } else {
+                items.swap(c[i], i);
+            }
+            f(&items);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_storage::{Schema, Value};
+
+    fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
+        Relation::from_u32_rows(Schema::of(schema), rows)
+    }
+
+    #[test]
+    fn permutations_complete() {
+        let mut seen = std::collections::HashSet::new();
+        permute(vec![0, 1, 2], &mut |p| {
+            seen.insert(p.to_vec());
+        });
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn estimate_basics() {
+        // |R| = 10 with 5 distinct B; |S| = 10 with 10 distinct B:
+        // estimate 10·10/10 = 10.
+        let est = estimate_join_size(
+            10.0,
+            &[(Attr(0), 10), (Attr(1), 5)],
+            10.0,
+            &[(Attr(1), 10), (Attr(2), 10)],
+        );
+        assert!((est - 10.0).abs() < 1e-9);
+        // no shared attrs → cross product estimate
+        let est = estimate_join_size(10.0, &[(Attr(0), 10)], 10.0, &[(Attr(1), 10)]);
+        assert!((est - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimizer_prefers_selective_first_join() {
+        // R(0,1) tiny, S(1,2) huge, T(2,3) huge but selective with S.
+        let r = rel(&[0, 1], &[&[1, 1]]);
+        let mut s_rows = Vec::new();
+        let mut t_rows = Vec::new();
+        for i in 0..50u32 {
+            s_rows.push(vec![Value(u64::from(i % 3)), Value(u64::from(i))]);
+            t_rows.push(vec![Value(u64::from(i)), Value(u64::from(i))]);
+        }
+        let s = Relation::from_rows(Schema::of(&[1, 2]), s_rows).unwrap();
+        let t = Relation::from_rows(Schema::of(&[2, 3]), t_rows).unwrap();
+        let order = optimize_left_deep(&[s.clone(), r.clone(), t.clone()]);
+        // the tiny relation (index 1) should come first
+        assert_eq!(order[0], 1, "order = {order:?}");
+    }
+
+    #[test]
+    fn greedy_handles_many_relations() {
+        // 9 relations forces the greedy path.
+        let rels: Vec<Relation> = (0..9u32)
+            .map(|i| rel(&[i, i + 1], &[&[1, 1], &[2, 2]]))
+            .collect();
+        let order = optimize_left_deep(&rels);
+        assert_eq!(order.len(), 9);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9usize).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oracle_beats_or_matches_any_fixed_order() {
+        let rels = vec![
+            rel(&[0, 1], &[&[1, 2], &[1, 3], &[2, 3]]),
+            rel(&[1, 2], &[&[2, 4], &[3, 4], &[3, 5]]),
+            rel(&[0, 2], &[&[1, 4], &[2, 4]]),
+        ];
+        let (order, stats) = best_actual_left_deep(&rels);
+        assert_eq!(order.len(), 3);
+        // compare against the identity order
+        let (_, id_stats) = execute_left_deep(&rels, &[0, 1, 2]).unwrap();
+        assert!(stats.max_intermediate <= id_stats.max_intermediate);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn oracle_guards_factorial() {
+        let rels: Vec<Relation> = (0..9u32).map(|i| rel(&[i], &[&[1]])).collect();
+        let _ = best_actual_left_deep(&rels);
+    }
+
+    #[test]
+    fn empty_input_order() {
+        assert!(optimize_left_deep(&[]).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Textbook binary join algorithms.
+//!
+//! `hash_join` delegates to the storage primitive (build on the smaller
+//! side, probe with the larger). `sort_merge_join` and
+//! `nested_loop_join` are independent implementations with identical
+//! semantics, used both as baselines in their own right and as
+//! cross-checks in tests.
+
+use wcoj_storage::ops::natural_join;
+use wcoj_storage::{Relation, Schema, Value};
+
+/// Hash-based natural join, `O(|R| + |S| + |R ⋈ S|)` (amortised).
+#[must_use]
+pub fn hash_join(l: &Relation, r: &Relation) -> Relation {
+    natural_join(l, r)
+}
+
+/// Sort-merge natural join: sort both inputs on the shared attributes and
+/// merge, emitting the cross product of each matching group.
+#[must_use]
+pub fn sort_merge_join(l: &Relation, r: &Relation) -> Relation {
+    let shared = l.schema().intersection(r.schema());
+    let out_schema = l.schema().union(r.schema());
+    let mut out = Relation::empty(out_schema.clone());
+    if l.is_empty() || r.is_empty() {
+        return out;
+    }
+    if shared.is_empty() || l.arity() == 0 || r.arity() == 0 {
+        // cross product / nullary cases: semantics identical to hash join
+        return natural_join(l, r);
+    }
+    let lpos = l.schema().positions_of(&shared).expect("shared in l");
+    let rpos = r.schema().positions_of(&shared).expect("shared in r");
+
+    // Sort row indices by join key.
+    let key_of = |rel: &Relation, pos: &[usize], i: usize| -> Vec<Value> {
+        pos.iter().map(|&p| rel.row(i)[p]).collect()
+    };
+    let mut li: Vec<usize> = (0..l.len()).collect();
+    let mut ri: Vec<usize> = (0..r.len()).collect();
+    li.sort_by_key(|&i| key_of(l, &lpos, i));
+    ri.sort_by_key(|&i| key_of(r, &rpos, i));
+
+    // Output column sources.
+    let plan: Vec<(bool, usize)> = out_schema
+        .attrs()
+        .iter()
+        .map(|&a| {
+            l.schema().position(a).map_or_else(
+                || (false, r.schema().position(a).expect("attr in one side")),
+                |p| (true, p),
+            )
+        })
+        .collect();
+
+    let mut buf = vec![Value(0); out_schema.arity()];
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < li.len() && j < ri.len() {
+        let lk = key_of(l, &lpos, li[i]);
+        let rk = key_of(r, &rpos, ri[j]);
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // group boundaries
+                let gi = (i..li.len())
+                    .take_while(|&x| key_of(l, &lpos, li[x]) == lk)
+                    .count();
+                let gj = (j..ri.len())
+                    .take_while(|&x| key_of(r, &rpos, ri[x]) == rk)
+                    .count();
+                for &lr in &li[i..i + gi] {
+                    for &rr in &ri[j..j + gj] {
+                        for (slot, &(from_l, p)) in buf.iter_mut().zip(&plan) {
+                            *slot = if from_l { l.row(lr)[p] } else { r.row(rr)[p] };
+                        }
+                        out.push_row(&buf).expect("arity consistent");
+                    }
+                }
+                i += gi;
+                j += gj;
+            }
+        }
+    }
+    out.sort_dedup();
+    out
+}
+
+/// Block nested-loop join: for every pair of rows, test the shared
+/// attributes. `O(|R| · |S|)` — the baseline the others improve on.
+#[must_use]
+pub fn nested_loop_join(l: &Relation, r: &Relation) -> Relation {
+    let shared = l.schema().intersection(r.schema());
+    let out_schema: Schema = l.schema().union(r.schema());
+    let mut out = Relation::empty(out_schema.clone());
+    if l.arity() == 0 || r.arity() == 0 {
+        return natural_join(l, r);
+    }
+    let lpos = l.schema().positions_of(&shared).expect("shared in l");
+    let rpos = r.schema().positions_of(&shared).expect("shared in r");
+    let plan: Vec<(bool, usize)> = out_schema
+        .attrs()
+        .iter()
+        .map(|&a| {
+            l.schema().position(a).map_or_else(
+                || (false, r.schema().position(a).expect("attr in one side")),
+                |p| (true, p),
+            )
+        })
+        .collect();
+    let mut buf = vec![Value(0); out_schema.arity()];
+    for lr in l.iter_rows() {
+        for rr in r.iter_rows() {
+            let matches = lpos
+                .iter()
+                .zip(&rpos)
+                .all(|(&lp, &rp)| lr[lp] == rr[rp]);
+            if matches {
+                for (slot, &(from_l, p)) in buf.iter_mut().zip(&plan) {
+                    *slot = if from_l { lr[p] } else { rr[p] };
+                }
+                out.push_row(&buf).expect("arity consistent");
+            }
+        }
+    }
+    out.sort_dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use wcoj_storage::ops::reorder;
+    use wcoj_storage::Schema;
+
+    fn random_rel(rng: &mut rand::rngs::StdRng, attrs: &[u32], n: usize, dom: u64) -> Relation {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|_| attrs.iter().map(|_| Value(rng.gen_range(0..dom))).collect())
+            .collect();
+        Relation::from_rows(Schema::of(attrs), rows).unwrap()
+    }
+
+    #[test]
+    fn three_implementations_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for trial in 0..10 {
+            let l = random_rel(&mut rng, &[0, 1], 40, 8);
+            let r = random_rel(&mut rng, &[1, 2], 40, 8);
+            let h = hash_join(&l, &r);
+            let s = reorder(&sort_merge_join(&l, &r), h.schema()).unwrap();
+            let n = reorder(&nested_loop_join(&l, &r), h.schema()).unwrap();
+            assert_eq!(h, s, "trial {trial}: sort-merge");
+            assert_eq!(h, n, "trial {trial}: nested-loop");
+        }
+    }
+
+    #[test]
+    fn multi_attribute_keys() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let l = random_rel(&mut rng, &[0, 1, 2], 30, 4);
+        let r = random_rel(&mut rng, &[1, 2, 3], 30, 4);
+        let h = hash_join(&l, &r);
+        let s = reorder(&sort_merge_join(&l, &r), h.schema()).unwrap();
+        let n = reorder(&nested_loop_join(&l, &r), h.schema()).unwrap();
+        assert_eq!(h, s);
+        assert_eq!(h, n);
+    }
+
+    #[test]
+    fn disjoint_schemas_cross_product() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let l = random_rel(&mut rng, &[0], 5, 10);
+        let r = random_rel(&mut rng, &[1], 7, 10);
+        let expect = l.len() * r.len();
+        assert_eq!(hash_join(&l, &r).len(), expect);
+        assert_eq!(sort_merge_join(&l, &r).len(), expect);
+        assert_eq!(nested_loop_join(&l, &r).len(), expect);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let l = Relation::empty(Schema::of(&[0, 1]));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let r = random_rel(&mut rng, &[1, 2], 5, 4);
+        assert!(hash_join(&l, &r).is_empty());
+        assert!(sort_merge_join(&l, &r).is_empty());
+        assert!(nested_loop_join(&l, &r).is_empty());
+    }
+
+    #[test]
+    fn identical_schemas_intersect() {
+        let a = Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2], &[3, 4]]);
+        let b = Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[3, 4], &[5, 6]]);
+        for j in [hash_join(&a, &b), sort_merge_join(&a, &b), nested_loop_join(&a, &b)] {
+            assert_eq!(j.len(), 1);
+            assert!(j.contains_row(&[Value(3), Value(4)]));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion bench for experiment E6 (Theorem 5.1): NPRR vs an optimized
+//! binary plan on general hypergraph queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcoj_baselines::{optimize_left_deep, plan::execute_left_deep};
+use wcoj_core::{join_with, Algorithm};
+use wcoj_storage::Relation;
+
+fn bench(c: &mut Criterion) {
+    let shapes: &[(&str, &[&[u32]])] = &[
+        ("triangle", &[&[0, 1], &[1, 2], &[0, 2]]),
+        ("lw4", &[&[1, 2, 3], &[0, 2, 3], &[0, 1, 3], &[0, 1, 2]]),
+        (
+            "figure2",
+            &[&[0, 1, 3, 4], &[0, 2, 3, 5], &[0, 1, 2], &[1, 3, 5], &[2, 4, 5]],
+        ),
+    ];
+    let mut g = c.benchmark_group("e6_nprr_general");
+    g.sample_size(10);
+    for (si, (name, shape)) in shapes.iter().enumerate() {
+        let rels: Vec<Relation> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, attrs)| wcoj_datagen::random_relation((si * 7 + i) as u64, attrs, 600, 12))
+            .collect();
+        let order = optimize_left_deep(&rels);
+        g.bench_with_input(BenchmarkId::new("nprr", name), &rels, |b, rels| {
+            b.iter(|| join_with(rels, Algorithm::Nprr, None).unwrap().relation.len());
+        });
+        g.bench_with_input(
+            BenchmarkId::new("binary_optimized", name),
+            &(rels, order),
+            |b, (rels, order)| {
+                b.iter(|| execute_left_deep(rels, order).unwrap().0.len());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

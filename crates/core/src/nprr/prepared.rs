@@ -1,0 +1,214 @@
+//! Ahead-of-time preparation (paper Remark 5.2).
+//!
+//! The NPRR pipeline splits into a data-independent *plan* (QP tree, total
+//! order) plus a per-relation *indexing* pass (search trees), and a cheap
+//! evaluation. Remark 5.2 observes that paying the indexing once removes
+//! the `O(n² Σ N_e)` term from subsequent evaluations. [`PreparedQuery`]
+//! packages exactly that: build once, evaluate many times (e.g. with
+//! different covers, or for every `C*(q, r)` class of a relaxed join).
+
+use super::qptree::{build_qp_tree, QpNode};
+use super::total_order::{positions, total_order};
+use super::{assemble_output, Engine};
+use crate::query::{JoinQuery, QueryError};
+use crate::{JoinOutput, JoinStats};
+use wcoj_hypergraph::cover::validate_cover;
+use wcoj_storage::{Attr, Relation, TrieIndex};
+
+/// A query prepared for repeated NPRR evaluation: the plan tree, the total
+/// order, and all search trees, built once.
+pub struct PreparedQuery {
+    q: JoinQuery,
+    root: Option<Box<QpNode>>,
+    order: Vec<usize>,
+    pos: Vec<usize>,
+    tries: Vec<TrieIndex>,
+    edge_vertices: Vec<Vec<usize>>,
+}
+
+impl PreparedQuery {
+    /// Builds the plan and indexes for `relations`.
+    ///
+    /// # Errors
+    /// [`QueryError`] on malformed input.
+    pub fn new(relations: &[Relation]) -> Result<PreparedQuery, QueryError> {
+        let q = JoinQuery::new(relations)?;
+        let h = q.hypergraph();
+        let root = build_qp_tree(h);
+        let (order, pos) = match &root {
+            Some(r) => {
+                let order = total_order(r);
+                let pos = positions(&order, h.num_vertices());
+                (order, pos)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let mut tries = Vec::with_capacity(relations.len());
+        let mut edge_vertices = Vec::with_capacity(relations.len());
+        for (i, rel) in q.relations().iter().enumerate() {
+            let mut vs: Vec<usize> = h.edge(i).to_vec();
+            vs.sort_by_key(|&v| pos.get(v).copied().unwrap_or(0));
+            let attr_order: Vec<Attr> = vs.iter().map(|&v| q.attr_of_vertex(v)).collect();
+            tries.push(TrieIndex::build(rel, &attr_order)?);
+            edge_vertices.push(vs);
+        }
+        Ok(PreparedQuery {
+            q,
+            root,
+            order,
+            pos,
+            tries,
+            edge_vertices,
+        })
+    }
+
+    /// The underlying query.
+    #[must_use]
+    pub fn query(&self) -> &JoinQuery {
+        &self.q
+    }
+
+    /// The total order of attributes (vertex ids) this preparation uses.
+    #[must_use]
+    pub fn total_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Evaluates with the given fractional cover, or the LP optimum when
+    /// `None`. Only the `O(mn·∏N^x)` evaluation cost is paid here.
+    ///
+    /// # Errors
+    /// [`QueryError::BadCover`] for invalid covers; LP errors when solving
+    /// for the optimum.
+    pub fn evaluate(&self, cover: Option<&[f64]>) -> Result<JoinOutput, QueryError> {
+        if self.q.relations().iter().any(Relation::is_empty) {
+            return Ok(JoinOutput {
+                relation: Relation::empty(self.q.output_schema()),
+                stats: JoinStats {
+                    algorithm_used: "nprr-prepared",
+                    ..JoinStats::default()
+                },
+            });
+        }
+        let (x, log2_bound) = match cover {
+            Some(x) => {
+                validate_cover(self.q.hypergraph(), x)
+                    .map_err(|e| QueryError::BadCover(e.to_string()))?;
+                (
+                    x.to_vec(),
+                    wcoj_hypergraph::agm::log2_bound(&self.q.sizes(), x),
+                )
+            }
+            None => {
+                let sol = self.q.optimal_cover()?;
+                let b = sol.log2_bound;
+                (sol.x, b)
+            }
+        };
+        let Some(root) = &self.root else {
+            return Ok(JoinOutput {
+                relation: Relation::nullary_true(),
+                stats: JoinStats {
+                    algorithm_used: "nprr-prepared",
+                    log2_agm_bound: log2_bound,
+                    cover: x,
+                    ..JoinStats::default()
+                },
+            });
+        };
+        let mut engine = Engine {
+            q: &self.q,
+            tries: &self.tries,
+            edge_vertices: &self.edge_vertices,
+            pos: &self.pos,
+            bindings: vec![None; self.q.hypergraph().num_vertices()],
+            stats: JoinStats {
+                algorithm_used: "nprr-prepared",
+                log2_agm_bound: log2_bound,
+                cover: x.clone(),
+                ..JoinStats::default()
+            },
+        };
+        let rows = engine.recursive_join(root, &x);
+        assemble_output(&self.q, &self.order, rows, engine.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{join_with, naive, Algorithm};
+    use wcoj_storage::ops::reorder;
+    use wcoj_storage::{Schema, Value};
+
+    fn random_rel(seed: u64, attrs: &[u32], n: usize, dom: u64) -> Relation {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|_| attrs.iter().map(|_| Value(rng.gen_range(0..dom))).collect())
+            .collect();
+        Relation::from_rows(Schema::of(attrs), rows).unwrap()
+    }
+
+    #[test]
+    fn prepared_matches_one_shot() {
+        let rels = [
+            random_rel(1, &[0, 1], 50, 8),
+            random_rel(2, &[1, 2], 50, 8),
+            random_rel(3, &[0, 2], 50, 8),
+        ];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        let a = prepared.evaluate(None).unwrap();
+        let b = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.stats.algorithm_used, "nprr-prepared");
+    }
+
+    #[test]
+    fn repeated_evaluations_with_different_covers() {
+        let rels = [
+            random_rel(4, &[0, 1], 40, 6),
+            random_rel(5, &[1, 2], 40, 6),
+            random_rel(6, &[0, 2], 40, 6),
+        ];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        let expect = naive::join(&rels);
+        for cover in [
+            None,
+            Some(vec![1.0, 1.0, 1.0]),
+            Some(vec![0.5, 0.5, 0.5]),
+            Some(vec![1.0, 0.5, 0.5]),
+        ] {
+            let out = prepared.evaluate(cover.as_deref()).unwrap();
+            let exp = reorder(&expect, out.relation.schema()).unwrap();
+            assert_eq!(out.relation, exp, "cover {cover:?}");
+        }
+        // bad cover rejected without disturbing the preparation
+        assert!(prepared.evaluate(Some(&[0.1, 0.1, 0.1])).is_err());
+        assert!(prepared.evaluate(None).is_ok());
+    }
+
+    #[test]
+    fn prepared_exposes_plan() {
+        let rels = [
+            random_rel(7, &[0, 1], 10, 4),
+            random_rel(8, &[1, 2], 10, 4),
+            random_rel(9, &[0, 2], 10, 4),
+        ];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        assert_eq!(prepared.total_order().len(), 3);
+        assert_eq!(prepared.query().relations().len(), 3);
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let rels = [
+            random_rel(10, &[0, 1], 10, 4),
+            Relation::empty(Schema::of(&[1, 2])),
+        ];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        let out = prepared.evaluate(None).unwrap();
+        assert!(out.relation.is_empty());
+        assert_eq!(out.relation.arity(), 3);
+    }
+}

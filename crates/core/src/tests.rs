@@ -1,0 +1,455 @@
+//! Cross-algorithm consistency tests: every algorithm must agree with the
+//! naive oracle on every query shape it claims to support, and outputs must
+//! respect the AGM bound.
+
+use crate::query::JoinQuery;
+use crate::{agm_cover, join, join_with, naive, Algorithm, QueryError};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use wcoj_storage::ops::reorder;
+use wcoj_storage::{Relation, Schema, Value};
+
+fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
+    Relation::from_u32_rows(Schema::of(schema), rows)
+}
+
+fn random_rel(rng: &mut rand::rngs::StdRng, attrs: &[u32], n: usize, dom: u64) -> Relation {
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|_| attrs.iter().map(|_| Value(rng.gen_range(0..dom))).collect())
+        .collect();
+    Relation::from_rows(Schema::of(attrs), rows).unwrap()
+}
+
+fn assert_matches_naive(rels: &[Relation], algo: Algorithm, ctx: &str) {
+    let out = join_with(rels, algo, None)
+        .unwrap_or_else(|e| panic!("{ctx}: {algo:?} failed: {e}"));
+    let expect = naive::join(rels);
+    let expect = reorder(&expect, out.relation.schema()).unwrap();
+    assert_eq!(out.relation, expect, "{ctx}: {algo:?} disagrees with naive");
+}
+
+#[test]
+fn doc_example_triangle() {
+    let r = rel(&[0, 1], &[&[1, 2], &[1, 3]]);
+    let s = rel(&[1, 2], &[&[2, 4], &[3, 4]]);
+    let t = rel(&[0, 2], &[&[1, 4]]);
+    let out = join(&[r, s, t]).unwrap();
+    assert_eq!(out.len(), 2);
+    assert!(out.contains_row(&[Value(1), Value(2), Value(4)]));
+    assert!(out.contains_row(&[Value(1), Value(3), Value(4)]));
+}
+
+#[test]
+fn all_algorithms_agree_on_triangles() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+    for trial in 0..10 {
+        let r = random_rel(&mut rng, &[0, 1], 50, 9);
+        let s = random_rel(&mut rng, &[1, 2], 50, 9);
+        let t = random_rel(&mut rng, &[0, 2], 50, 9);
+        let rels = [r, s, t];
+        for algo in [Algorithm::Nprr, Algorithm::Lw, Algorithm::GraphJoin, Algorithm::Auto] {
+            assert_matches_naive(&rels, algo, &format!("triangle trial {trial}"));
+        }
+    }
+}
+
+#[test]
+fn nprr_handles_figure2_query() {
+    // The paper's §5.2 worked example: 6 attributes, 5 relations.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(200);
+    for trial in 0..5 {
+        let rels = [
+            random_rel(&mut rng, &[0, 1, 3, 4], 40, 4),
+            random_rel(&mut rng, &[0, 2, 3, 5], 40, 4),
+            random_rel(&mut rng, &[0, 1, 2], 40, 4),
+            random_rel(&mut rng, &[1, 3, 5], 40, 4),
+            random_rel(&mut rng, &[2, 4, 5], 40, 4),
+        ];
+        assert_matches_naive(&rels, Algorithm::Nprr, &format!("figure2 trial {trial}"));
+    }
+}
+
+#[test]
+fn example_2_2_instance_is_empty_everywhere() {
+    // The paper's pathological triangle family: any pairwise join is
+    // Θ(N²/4) but the triangle is empty.
+    let n = 8u64;
+    let rows: Vec<Vec<Value>> = (1..=n / 2)
+        .map(|j| vec![Value(0), Value(j)])
+        .chain((1..=n / 2).map(|j| vec![Value(j), Value(0)]))
+        .collect();
+    let r = Relation::from_rows(Schema::of(&[0, 1]), rows.clone()).unwrap();
+    let s = Relation::from_rows(Schema::of(&[1, 2]), rows.clone()).unwrap();
+    let t = Relation::from_rows(Schema::of(&[0, 2]), rows).unwrap();
+    assert_eq!(r.len(), n as usize);
+    for algo in [Algorithm::Nprr, Algorithm::Lw, Algorithm::GraphJoin, Algorithm::Naive] {
+        let out = join_with(&[r.clone(), s.clone(), t.clone()], algo, None).unwrap();
+        assert!(out.relation.is_empty(), "{algo:?} must report empty");
+    }
+    // while the pairwise join is quadratic:
+    let pairwise = wcoj_storage::ops::natural_join(&r, &s);
+    assert_eq!(pairwise.len(), (n * n / 4 + n / 2) as usize);
+}
+
+#[test]
+fn nprr_output_within_agm_bound_random_queries() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(300);
+    for trial in 0..12 {
+        let shapes: &[&[&[u32]]] = &[
+            &[&[0, 1], &[1, 2], &[0, 2]],
+            &[&[0, 1, 2], &[2, 3], &[0, 3]],
+            &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]],
+            &[&[0, 1, 2], &[1, 2, 3], &[0, 3]],
+        ];
+        let shape = shapes[trial % shapes.len()];
+        let rels: Vec<Relation> = shape
+            .iter()
+            .map(|attrs| random_rel(&mut rng, attrs, 60, 6))
+            .collect();
+        let out = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let bound = out.stats.log2_agm_bound;
+        if !out.relation.is_empty() {
+            assert!(
+                (out.relation.len() as f64).log2() <= bound + 1e-6,
+                "trial {trial}: output {} exceeds AGM bound 2^{bound}",
+                out.relation.len()
+            );
+        }
+        assert_matches_naive(&rels, Algorithm::Nprr, &format!("agm trial {trial}"));
+    }
+}
+
+#[test]
+fn nprr_with_explicit_cover() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(400);
+    let r = random_rel(&mut rng, &[0, 1], 30, 6);
+    let s = random_rel(&mut rng, &[1, 2], 30, 6);
+    let t = random_rel(&mut rng, &[0, 2], 30, 6);
+    let rels = [r, s, t];
+    // the all-ones cover is valid but loose
+    let out = join_with(&rels, Algorithm::Nprr, Some(&[1.0, 1.0, 1.0])).unwrap();
+    let expect = naive::join(&rels);
+    let expect = reorder(&expect, out.relation.schema()).unwrap();
+    assert_eq!(out.relation, expect);
+    // the half cover
+    let out2 = join_with(&rels, Algorithm::Nprr, Some(&[0.5, 0.5, 0.5])).unwrap();
+    assert_eq!(out2.relation, expect);
+    // a non-cover is rejected
+    assert!(matches!(
+        join_with(&rels, Algorithm::Nprr, Some(&[0.1, 0.1, 0.1])),
+        Err(QueryError::BadCover(_))
+    ));
+}
+
+#[test]
+fn empty_input_short_circuits() {
+    let r = rel(&[0, 1], &[&[1, 2]]);
+    let e = Relation::empty(Schema::of(&[1, 2]));
+    let out = join_with(&[r, e], Algorithm::Auto, None).unwrap();
+    assert!(out.relation.is_empty());
+    assert_eq!(out.relation.arity(), 3);
+    assert_eq!(out.stats.algorithm_used, "empty-input-short-circuit");
+}
+
+#[test]
+fn empty_query_rejected() {
+    assert!(matches!(join(&[]), Err(QueryError::EmptyQuery)));
+}
+
+#[test]
+fn single_relation_query() {
+    let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+    let out = join(&[r.clone()]).unwrap();
+    assert_eq!(out, r);
+    let out2 = join_with(&[r.clone()], Algorithm::Nprr, None).unwrap();
+    assert_eq!(out2.relation, r);
+}
+
+#[test]
+fn nullary_relations() {
+    let t = Relation::nullary_true();
+    let r = rel(&[0], &[&[1], &[2]]);
+    let out = join(&[t.clone(), r.clone()]).unwrap();
+    assert_eq!(out, r);
+    let out2 = join(&[t.clone(), t]).unwrap();
+    assert_eq!(out2.len(), 1);
+}
+
+#[test]
+fn disconnected_query_is_cross_product() {
+    let r = rel(&[0], &[&[1], &[2]]);
+    let s = rel(&[1], &[&[5], &[6], &[7]]);
+    let out = join_with(&[r, s], Algorithm::Nprr, None).unwrap();
+    assert_eq!(out.relation.len(), 6);
+}
+
+#[test]
+fn chain_and_star_queries_match_naive() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(500);
+    for trial in 0..6 {
+        // chain R(0,1) ⋈ S(1,2) ⋈ T(2,3)
+        let chain = [
+            random_rel(&mut rng, &[0, 1], 40, 7),
+            random_rel(&mut rng, &[1, 2], 40, 7),
+            random_rel(&mut rng, &[2, 3], 40, 7),
+        ];
+        assert_matches_naive(&chain, Algorithm::Nprr, &format!("chain {trial}"));
+        assert_matches_naive(&chain, Algorithm::GraphJoin, &format!("chain {trial}"));
+        // star
+        let star = [
+            random_rel(&mut rng, &[0, 1], 40, 7),
+            random_rel(&mut rng, &[0, 2], 40, 7),
+            random_rel(&mut rng, &[0, 3], 40, 7),
+        ];
+        assert_matches_naive(&star, Algorithm::Nprr, &format!("star {trial}"));
+        assert_matches_naive(&star, Algorithm::GraphJoin, &format!("star {trial}"));
+    }
+}
+
+#[test]
+fn hypergraph_shapes_with_overlapping_big_edges() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(600);
+    for trial in 0..6 {
+        let rels = [
+            random_rel(&mut rng, &[0, 1, 2, 3], 35, 3),
+            random_rel(&mut rng, &[2, 3, 4], 35, 3),
+            random_rel(&mut rng, &[0, 4], 35, 3),
+            random_rel(&mut rng, &[1, 4], 35, 3),
+        ];
+        assert_matches_naive(&rels, Algorithm::Nprr, &format!("overlap {trial}"));
+    }
+}
+
+#[test]
+fn repeated_identical_schemas() {
+    // Two relations over the same attributes: join = intersection.
+    let a = rel(&[0, 1], &[&[1, 2], &[3, 4], &[5, 6]]);
+    let b = rel(&[0, 1], &[&[3, 4], &[5, 6], &[7, 8]]);
+    let out = join_with(&[a, b], Algorithm::Nprr, None).unwrap();
+    assert_eq!(out.relation.len(), 2);
+}
+
+#[test]
+fn lw5_matches_naive() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(700);
+    let rels: Vec<Relation> = (0..5u32)
+        .map(|omit| {
+            let attrs: Vec<u32> = (0..5).filter(|&v| v != omit).collect();
+            random_rel(&mut rng, &attrs, 25, 3)
+        })
+        .collect();
+    assert_matches_naive(&rels, Algorithm::Lw, "lw5");
+    assert_matches_naive(&rels, Algorithm::Nprr, "lw5");
+    // Auto picks LW for this shape
+    let out = join_with(&rels, Algorithm::Auto, None).unwrap();
+    assert_eq!(out.stats.algorithm_used, "lw");
+}
+
+#[test]
+fn auto_dispatch_choices() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(800);
+    // graph query → graph-join
+    let chain = [
+        random_rel(&mut rng, &[0, 1], 10, 4),
+        random_rel(&mut rng, &[1, 2], 10, 4),
+    ];
+    let out = join_with(&chain, Algorithm::Auto, None).unwrap();
+    assert_eq!(out.stats.algorithm_used, "graph-join");
+    // triangle is an LW instance → lw
+    let tri = [
+        random_rel(&mut rng, &[0, 1], 10, 4),
+        random_rel(&mut rng, &[1, 2], 10, 4),
+        random_rel(&mut rng, &[0, 2], 10, 4),
+    ];
+    let out = join_with(&tri, Algorithm::Auto, None).unwrap();
+    assert_eq!(out.stats.algorithm_used, "lw");
+    // hypergraph → nprr
+    let hyper = [
+        random_rel(&mut rng, &[0, 1, 2], 10, 4),
+        random_rel(&mut rng, &[2, 3], 10, 4),
+        random_rel(&mut rng, &[0, 3], 10, 4),
+    ];
+    let out = join_with(&hyper, Algorithm::Auto, None).unwrap();
+    assert_eq!(out.stats.algorithm_used, "nprr");
+}
+
+#[test]
+fn agm_cover_convenience() {
+    let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+    let s = rel(&[1, 2], &[&[2, 4], &[4, 5]]);
+    let t = rel(&[0, 2], &[&[1, 4], &[3, 5]]);
+    let sol = agm_cover(&[r, s, t]).unwrap();
+    for v in &sol.x {
+        assert!((v - 0.5).abs() < 1e-6);
+    }
+    assert!((sol.bound() - 2f64.powf(1.5)).abs() < 1e-6);
+}
+
+#[test]
+fn stats_are_populated() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(900);
+    let rels = [
+        random_rel(&mut rng, &[0, 1, 2], 50, 4),
+        random_rel(&mut rng, &[2, 3], 50, 4),
+        random_rel(&mut rng, &[0, 3], 50, 4),
+    ];
+    let out = join_with(&rels, Algorithm::Nprr, None).unwrap();
+    assert_eq!(out.stats.algorithm_used, "nprr");
+    assert_eq!(out.stats.cover.len(), 3);
+    assert!(out.stats.log2_agm_bound > 0.0);
+    assert!(out.stats.case_a + out.stats.case_b > 0);
+}
+
+#[test]
+fn query_accessors() {
+    let r = rel(&[3, 7], &[&[1, 2]]);
+    let s = rel(&[7, 9], &[&[2, 3]]);
+    let q = JoinQuery::new(&[r, s]).unwrap();
+    use wcoj_storage::Attr;
+    assert_eq!(q.attrs(), &[Attr(3), Attr(7), Attr(9)]);
+    assert_eq!(q.vertex_of_attr(Attr(7)), Some(1));
+    assert_eq!(q.attr_of_vertex(2), Attr(9));
+    assert_eq!(q.sizes(), vec![1, 1]);
+    assert_eq!(q.hypergraph().num_edges(), 2);
+    assert_eq!(q.relations().len(), 2);
+    assert_eq!(q.output_schema(), Schema::of(&[3, 7, 9]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// NPRR equals the oracle on random small hypergraph queries.
+    #[test]
+    fn prop_nprr_matches_naive(seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n_attr = rng.gen_range(2..6u32);
+        let n_rel = rng.gen_range(2..5usize);
+        let mut rels = Vec::new();
+        for _ in 0..n_rel {
+            let arity = rng.gen_range(1..=3.min(n_attr));
+            let mut attrs: Vec<u32> = (0..n_attr).collect();
+            for i in (1..attrs.len()).rev() {
+                attrs.swap(i, rng.gen_range(0..=i));
+            }
+            attrs.truncate(arity as usize);
+            attrs.sort_unstable();
+            let count = rng.gen_range(5..30);
+            rels.push(random_rel(&mut rng, &attrs, count, 4));
+        }
+        let out = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let expect = naive::join(&rels);
+        let expect = reorder(&expect, out.relation.schema()).unwrap();
+        prop_assert_eq!(out.relation, expect);
+    }
+
+    /// The AGM inequality holds on every random instance.
+    #[test]
+    fn prop_output_obeys_agm(seed in 0u64..400) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = random_rel(&mut rng, &[0, 1], 40, 8);
+        let s = random_rel(&mut rng, &[1, 2], 40, 8);
+        let t = random_rel(&mut rng, &[0, 2], 40, 8);
+        let sizes = [r.len(), s.len(), t.len()];
+        let out = join(&[r, s, t]).unwrap();
+        let bound = sizes.iter().map(|&x| x as f64).product::<f64>().sqrt();
+        prop_assert!((out.len() as f64) <= bound + 1e-9);
+    }
+}
+
+#[test]
+fn hash_indexed_nprr_matches_sorted_trie() {
+    use crate::nprr::{join_nprr, join_nprr_hash};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+    for trial in 0..6 {
+        let rels = [
+            random_rel(&mut rng, &[0, 1, 2], 50, 5),
+            random_rel(&mut rng, &[2, 3], 50, 5),
+            random_rel(&mut rng, &[0, 3], 50, 5),
+        ];
+        let q = JoinQuery::new(&rels).unwrap();
+        let sol = q.optimal_cover().unwrap();
+        let a = join_nprr(&q, &sol.x, sol.log2_bound).unwrap();
+        let b = join_nprr_hash(&q, &sol.x, sol.log2_bound).unwrap();
+        assert_eq!(a.relation, b.relation, "trial {trial}");
+        // same per-tuple decisions: the size checks see identical counts
+        assert_eq!(a.stats.case_a, b.stats.case_a, "trial {trial}");
+        assert_eq!(a.stats.case_b, b.stats.case_b, "trial {trial}");
+    }
+}
+
+#[test]
+fn zero_weight_edges_still_filter() {
+    // With skewed sizes the optimal cover drops T (x_T = 0), but T's
+    // constraint must still be enforced by the evaluation structure.
+    let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+    let s = rel(&[1, 2], &[&[2, 5], &[4, 6]]);
+    // huge T missing the (3, 6) combination
+    let mut t_rows: Vec<Vec<Value>> = (10..200u64).map(|i| vec![Value(i), Value(i)]).collect();
+    t_rows.push(vec![Value(1), Value(5)]);
+    let t = Relation::from_rows(Schema::of(&[0, 2]), t_rows).unwrap();
+    let rels = [r, s, t];
+    let cover = agm_cover(&rels).unwrap();
+    assert!(cover.x[2].abs() < 1e-6, "T should get weight 0");
+    let out = join_with(&rels, Algorithm::Nprr, None).unwrap();
+    assert_eq!(out.relation.len(), 1);
+    assert!(out.relation.contains_row(&[Value(1), Value(2), Value(5)]));
+}
+
+#[test]
+fn contained_edges() {
+    // R(0,1,2) ⊇ S(1,2) ⊇ U(1): nested attribute sets.
+    let r = rel(&[0, 1, 2], &[&[1, 2, 3], &[4, 5, 6], &[7, 2, 3]]);
+    let s = rel(&[1, 2], &[&[2, 3], &[5, 6]]);
+    let u = rel(&[1], &[&[2]]);
+    let rels = [r, s, u];
+    for algo in [Algorithm::Nprr, Algorithm::Auto] {
+        assert_matches_naive(&rels, algo, "contained edges");
+    }
+    let out = join_with(&rels, Algorithm::Nprr, None).unwrap();
+    assert_eq!(out.relation.len(), 2); // (1,2,3) and (7,2,3)
+}
+
+#[test]
+fn duplicate_relations_as_parallel_edges() {
+    // The same relation twice (multiset hypergraph, needed by §7.3).
+    let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+    let out = join_with(&[r.clone(), r.clone()], Algorithm::Nprr, None).unwrap();
+    assert_eq!(out.relation, r);
+    // and a triangle where two edges coincide
+    let s = rel(&[1, 2], &[&[2, 9], &[4, 8]]);
+    let rels = [r.clone(), r, s];
+    assert_matches_naive(&rels, Algorithm::Nprr, "parallel edges");
+}
+
+#[test]
+fn wide_relation_with_many_attributes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let wide = random_rel(&mut rng, &[0, 1, 2, 3, 4, 5], 40, 3);
+    let narrow = random_rel(&mut rng, &[2, 3], 40, 3);
+    let rels = [wide, narrow];
+    assert_matches_naive(&rels, Algorithm::Nprr, "wide + narrow");
+}
+
+#[test]
+fn skew_forces_both_cases() {
+    // Heavy-hitter key in R forces per-tuple decisions to diverge: some
+    // prefixes take case a, others case b.
+    let mut rows: Vec<Vec<Value>> = (0..100u64).map(|i| vec![Value(0), Value(i)]).collect();
+    rows.extend((1..30u64).map(|i| vec![Value(i), Value(1000 + i)]));
+    let r = Relation::from_rows(Schema::of(&[0, 1]), rows.clone()).unwrap();
+    let s = Relation::from_rows(
+        Schema::of(&[1, 2]),
+        (0..100u64).map(|i| vec![Value(i), Value(i % 7)]).collect(),
+    )
+    .unwrap();
+    let t = Relation::from_rows(
+        Schema::of(&[0, 2]),
+        (0..40u64).map(|i| vec![Value(i % 20), Value(i % 7)]).collect(),
+    )
+    .unwrap();
+    let rels = [r, s, t];
+    let out = join_with(&rels, Algorithm::Nprr, None).unwrap();
+    assert!(out.stats.case_a > 0, "expected some case-a decisions");
+    assert!(out.stats.case_b > 0, "expected some case-b decisions");
+    assert_matches_naive(&rels, Algorithm::Nprr, "skewed triangle");
+}

@@ -1,0 +1,128 @@
+//! The numeric abstraction the simplex solver is generic over.
+
+use std::fmt::Debug;
+use wcoj_rational::Rational;
+
+/// A totally ordered field with a notion of "numerically zero".
+///
+/// `f64` uses an absolute epsilon of `1e-9` — ample for cover LPs whose
+/// coefficients are `{0, 1}` and whose objective weights are `ln N_e` with
+/// `N_e ≤ 2^63`. [`Rational`] comparisons are exact.
+pub trait Scalar: Clone + Debug + PartialEq {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embeds a small integer.
+    fn from_i64(v: i64) -> Self;
+
+    /// `self + rhs`; `None` on overflow (never for `f64`).
+    fn add(&self, rhs: &Self) -> Option<Self>;
+    /// `self - rhs`; `None` on overflow.
+    fn sub(&self, rhs: &Self) -> Option<Self>;
+    /// `self * rhs`; `None` on overflow.
+    fn mul(&self, rhs: &Self) -> Option<Self>;
+    /// `self / rhs`; `None` on overflow or division by (numeric) zero.
+    fn div(&self, rhs: &Self) -> Option<Self>;
+    /// `-self`.
+    fn neg(&self) -> Self;
+
+    /// Numerically zero (|x| ≤ ε for `f64`, exact for rationals).
+    fn is_zero(&self) -> bool;
+    /// Strictly negative beyond the tolerance.
+    fn is_negative(&self) -> bool;
+    /// Strictly positive beyond the tolerance.
+    fn is_positive(&self) -> bool {
+        !self.is_zero() && !self.is_negative()
+    }
+    /// Tolerance-aware strict less-than.
+    fn lt(&self, rhs: &Self) -> bool;
+
+    /// Lossy view for reporting.
+    fn to_f64(&self) -> f64;
+}
+
+/// Absolute tolerance for `f64` simplex pivoting.
+pub const F64_EPS: f64 = 1e-9;
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn add(&self, rhs: &Self) -> Option<Self> {
+        Some(self + rhs)
+    }
+    fn sub(&self, rhs: &Self) -> Option<Self> {
+        Some(self - rhs)
+    }
+    fn mul(&self, rhs: &Self) -> Option<Self> {
+        Some(self * rhs)
+    }
+    fn div(&self, rhs: &Self) -> Option<Self> {
+        if rhs.abs() <= F64_EPS {
+            None
+        } else {
+            Some(self / rhs)
+        }
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        self.abs() <= F64_EPS
+    }
+    fn is_negative(&self) -> bool {
+        *self < -F64_EPS
+    }
+    fn lt(&self, rhs: &Self) -> bool {
+        *self < rhs - F64_EPS
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl Scalar for Rational {
+    fn zero() -> Self {
+        Rational::ZERO
+    }
+    fn one() -> Self {
+        Rational::ONE
+    }
+    fn from_i64(v: i64) -> Self {
+        Rational::from_int(v as i128)
+    }
+    fn add(&self, rhs: &Self) -> Option<Self> {
+        self.checked_add(*rhs)
+    }
+    fn sub(&self, rhs: &Self) -> Option<Self> {
+        self.checked_sub(*rhs)
+    }
+    fn mul(&self, rhs: &Self) -> Option<Self> {
+        self.checked_mul(*rhs)
+    }
+    fn div(&self, rhs: &Self) -> Option<Self> {
+        self.checked_div(*rhs)
+    }
+    fn neg(&self) -> Self {
+        -*self
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(*self)
+    }
+    fn is_negative(&self) -> bool {
+        Rational::is_negative(*self)
+    }
+    fn lt(&self, rhs: &Self) -> bool {
+        self < rhs
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(*self)
+    }
+}

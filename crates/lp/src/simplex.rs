@@ -1,0 +1,372 @@
+//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! Cover LPs are tiny (one variable per hyperedge, one constraint per
+//! attribute), so a dense tableau recomputing reduced costs per iteration is
+//! both simple and plenty fast. Bland's rule guarantees termination, which
+//! matters for the exact-rational instantiation where degenerate vertices of
+//! the cover polytope are common (e.g. every LW instance is degenerate).
+
+use crate::problem::{dot, LinearProgram, Sense};
+use crate::scalar::Scalar;
+use std::fmt;
+
+/// Outcome classification of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+}
+
+/// Solver failures that are *errors*, not problem classifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// Exact arithmetic overflowed `i128`. Retry with `f64`.
+    Overflow,
+    /// Safety iteration cap hit (should not happen with Bland's rule).
+    IterationLimit,
+    /// Structurally malformed input (e.g. no variables).
+    BadProblem(&'static str),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Overflow => write!(f, "exact arithmetic overflow during pivoting"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::BadProblem(m) => write!(f, "malformed linear program: {m}"),
+        }
+    }
+}
+impl std::error::Error for LpError {}
+
+/// Result of a solve: status plus (when optimal) the optimal vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution<S> {
+    /// Problem classification.
+    pub status: Status,
+    /// Values of the structural variables (empty unless [`Status::Optimal`]).
+    pub x: Vec<S>,
+    /// Objective value at `x` (zero unless optimal).
+    pub objective: S,
+    /// Structural variables that are **basic** in the final tableau.
+    ///
+    /// The support of the returned vertex is a subset of this set; §7.2's
+    /// `BFS(S)` uses the *positive-value* support, see [`Solution::support`].
+    pub basic_structural: Vec<usize>,
+}
+
+impl<S: Scalar> Solution<S> {
+    /// Indices of structural variables with strictly positive value — the
+    /// support of the basic feasible solution (paper §7.2, `BFS(S)`).
+    #[must_use]
+    pub fn support(&self) -> Vec<usize> {
+        self.x
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_positive())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Column classification in the standard-form tableau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Col {
+    Structural(usize),
+    Slack,
+    Artificial,
+}
+
+struct Tableau<S> {
+    /// `rows × (cols + 1)`; last entry of each row is the RHS.
+    rows: Vec<Vec<S>>,
+    /// Basis: for each row, the index of its basic column.
+    basis: Vec<usize>,
+    kind: Vec<Col>,
+    /// Columns barred from entering (artificials in phase 2).
+    banned: Vec<bool>,
+    cols: usize,
+}
+
+impl<S: Scalar> Tableau<S> {
+    fn rhs(&self, i: usize) -> &S {
+        &self.rows[i][self.cols]
+    }
+
+    /// Reduced cost of column `j` under costs `c`: `c_j − c_B · B⁻¹A_j`.
+    fn reduced_cost(&self, c: &[S], j: usize) -> Option<S> {
+        let mut acc = c[j].clone();
+        for (i, row) in self.rows.iter().enumerate() {
+            let cb = &c[self.basis[i]];
+            if !cb.is_zero() && !row[j].is_zero() {
+                acc = acc.sub(&cb.mul(&row[j])?)?;
+            }
+        }
+        Some(acc)
+    }
+
+    /// Performs one pivot on `(row, col)`.
+    fn pivot(&mut self, r: usize, c: usize) -> Result<(), LpError> {
+        let piv = self.rows[r][c].clone();
+        let inv = S::one().div(&piv).ok_or(LpError::Overflow)?;
+        for v in &mut self.rows[r] {
+            if !v.is_zero() {
+                *v = v.mul(&inv).ok_or(LpError::Overflow)?;
+            }
+        }
+        self.rows[r][c] = S::one();
+        let pivot_row = self.rows[r].clone();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i == r || row[c].is_zero() {
+                continue;
+            }
+            let factor = row[c].clone();
+            for (v, p) in row.iter_mut().zip(&pivot_row) {
+                if !p.is_zero() {
+                    *v = v.sub(&factor.mul(p).ok_or(LpError::Overflow)?)
+                        .ok_or(LpError::Overflow)?;
+                }
+            }
+            row[c] = S::zero();
+        }
+        self.basis[r] = c;
+        Ok(())
+    }
+
+    /// Runs simplex iterations to optimality for costs `c` (minimisation).
+    /// Returns `Ok(true)` if optimal, `Ok(false)` if unbounded.
+    fn optimize(&mut self, c: &[S], max_iters: usize) -> Result<bool, LpError> {
+        for _ in 0..max_iters {
+            // Bland's rule: entering = smallest-index column with negative
+            // reduced cost.
+            let mut entering = None;
+            for j in 0..self.cols {
+                if self.banned[j] || self.basis.contains(&j) {
+                    continue;
+                }
+                let rc = self.reduced_cost(c, j).ok_or(LpError::Overflow)?;
+                if rc.is_negative() {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = entering else {
+                return Ok(true); // optimal
+            };
+            // Ratio test; Bland tie-break on smallest basic variable index.
+            let mut leave: Option<(usize, S)> = None;
+            for i in 0..self.rows.len() {
+                let a = &self.rows[i][j];
+                if !a.is_positive() {
+                    continue;
+                }
+                let ratio = self.rhs(i).div(a).ok_or(LpError::Overflow)?;
+                let better = match &leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio.lt(lr) || (!lr.lt(&ratio) && self.basis[i] < self.basis[*li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+            let Some((r, _)) = leave else {
+                return Ok(false); // unbounded direction
+            };
+            self.pivot(r, j)?;
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Solves `lp` with the two-phase primal simplex.
+///
+/// # Errors
+/// Returns [`LpError`] on arithmetic overflow (exact scalars only), the
+/// safety iteration cap, or a malformed problem. Infeasibility and
+/// unboundedness are reported via [`Solution::status`], not as errors.
+pub fn solve<S: Scalar>(lp: &LinearProgram<S>) -> Result<Solution<S>, LpError> {
+    let n = lp.num_vars();
+    if n == 0 {
+        return Err(LpError::BadProblem("no variables"));
+    }
+    let m = lp.num_constraints();
+
+    // ---- standard form -------------------------------------------------
+    // Count extra columns: one slack/surplus per inequality, one artificial
+    // per Ge/Eq row (and per Le row with negative rhs, which flips to Ge).
+    let mut kind = vec![Col::Slack; 0];
+    for j in 0..n {
+        kind.push(Col::Structural(j));
+    }
+    let mut rows: Vec<Vec<S>> = Vec::with_capacity(m);
+    let mut senses = Vec::with_capacity(m);
+    for c in lp.constraints() {
+        let mut row: Vec<S> = c.coeffs.clone();
+        let mut rhs = c.rhs.clone();
+        let mut sense = c.sense;
+        if rhs.is_negative() {
+            for v in &mut row {
+                *v = v.neg();
+            }
+            rhs = rhs.neg();
+            sense = match sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+        }
+        row.push(rhs);
+        rows.push(row);
+        senses.push(sense);
+    }
+
+    // Allocate slack/surplus columns.
+    let mut slack_col = vec![usize::MAX; m];
+    for (i, s) in senses.iter().enumerate() {
+        if matches!(s, Sense::Le | Sense::Ge) {
+            slack_col[i] = kind.len();
+            kind.push(Col::Slack);
+        }
+    }
+    // Allocate artificial columns.
+    let mut art_col = vec![usize::MAX; m];
+    for (i, s) in senses.iter().enumerate() {
+        if matches!(s, Sense::Ge | Sense::Eq) {
+            art_col[i] = kind.len();
+            kind.push(Col::Artificial);
+        }
+    }
+    let cols = kind.len();
+
+    // Widen rows: structural coeffs .. slack .. artificial .. rhs.
+    let mut basis = vec![usize::MAX; m];
+    let mut wide: Vec<Vec<S>> = Vec::with_capacity(m);
+    for (i, mut row) in rows.into_iter().enumerate() {
+        let rhs = row.pop().expect("rhs present");
+        row.resize(cols, S::zero());
+        match senses[i] {
+            Sense::Le => {
+                row[slack_col[i]] = S::one();
+                basis[i] = slack_col[i];
+            }
+            Sense::Ge => {
+                row[slack_col[i]] = S::one().neg();
+                row[art_col[i]] = S::one();
+                basis[i] = art_col[i];
+            }
+            Sense::Eq => {
+                row[art_col[i]] = S::one();
+                basis[i] = art_col[i];
+            }
+        }
+        row.push(rhs);
+        wide.push(row);
+    }
+
+    let mut t = Tableau {
+        rows: wide,
+        basis,
+        banned: vec![false; cols],
+        kind,
+        cols,
+    };
+    let max_iters = 1000 * (m + cols + 1);
+
+    // ---- phase 1: minimise the sum of artificials ----------------------
+    let has_artificials = t.kind.iter().any(|k| matches!(k, Col::Artificial));
+    if has_artificials {
+        let c1: Vec<S> = t
+            .kind
+            .iter()
+            .map(|k| {
+                if matches!(k, Col::Artificial) {
+                    S::one()
+                } else {
+                    S::zero()
+                }
+            })
+            .collect();
+        let optimal = t.optimize(&c1, max_iters)?;
+        debug_assert!(optimal, "phase 1 is bounded below by 0");
+        // Phase-1 objective value = Σ artificial basic values.
+        let mut p1 = S::zero();
+        for (i, &b) in t.basis.iter().enumerate() {
+            if matches!(t.kind[b], Col::Artificial) {
+                p1 = p1.add(t.rhs(i)).ok_or(LpError::Overflow)?;
+            }
+        }
+        if p1.is_positive() {
+            return Ok(Solution {
+                status: Status::Infeasible,
+                x: Vec::new(),
+                objective: S::zero(),
+                basic_structural: Vec::new(),
+            });
+        }
+        // Drive remaining (degenerate) artificials out of the basis.
+        for i in 0..t.rows.len() {
+            let b = t.basis[i];
+            if !matches!(t.kind[b], Col::Artificial) {
+                continue;
+            }
+            let pivot_col = (0..t.cols).find(|&j| {
+                !matches!(t.kind[j], Col::Artificial) && !t.rows[i][j].is_zero()
+            });
+            if let Some(j) = pivot_col {
+                t.pivot(i, j)?;
+            }
+            // If no pivot exists the row is all-zero (redundant); leaving the
+            // artificial basic at value zero is harmless once it is banned.
+        }
+        for (j, k) in t.kind.iter().enumerate() {
+            if matches!(k, Col::Artificial) {
+                t.banned[j] = true;
+            }
+        }
+    }
+
+    // ---- phase 2: minimise the real objective --------------------------
+    let mut c2 = vec![S::zero(); t.cols];
+    for (j, k) in t.kind.iter().enumerate() {
+        if let Col::Structural(v) = k {
+            c2[j] = lp.objective()[*v].clone();
+        }
+    }
+    let optimal = t.optimize(&c2, max_iters)?;
+    if !optimal {
+        return Ok(Solution {
+            status: Status::Unbounded,
+            x: Vec::new(),
+            objective: S::zero(),
+            basic_structural: Vec::new(),
+        });
+    }
+
+    // ---- extract --------------------------------------------------------
+    let mut x = vec![S::zero(); n];
+    let mut basic_structural = Vec::new();
+    for (i, &b) in t.basis.iter().enumerate() {
+        if let Col::Structural(v) = t.kind[b] {
+            x[v] = t.rhs(i).clone();
+            basic_structural.push(v);
+        }
+    }
+    basic_structural.sort_unstable();
+    let objective = dot(lp.objective(), &x).ok_or(LpError::Overflow)?;
+    debug_assert!(
+        lp.is_feasible(&x),
+        "simplex returned an infeasible point: {x:?}"
+    );
+    Ok(Solution {
+        status: Status::Optimal,
+        x,
+        objective,
+        basic_structural,
+    })
+}

@@ -1,0 +1,96 @@
+//! Named relations plus the shared value dictionary.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wcoj_storage::{Datum, Dictionary, Relation};
+
+/// A catalog: named relations sharing one [`Dictionary`] so string values
+/// compare consistently across relations.
+#[derive(Clone)]
+pub struct Catalog {
+    dict: Arc<Dictionary>,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Catalog {
+        Catalog {
+            dict: Arc::new(Dictionary::new()),
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// The shared dictionary (encode constants through this).
+    #[must_use]
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Registers (or replaces) a relation under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Looks up a relation.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered relations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` iff no relations are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Decodes a value through the shared dictionary.
+    #[must_use]
+    pub fn decode(&self, v: wcoj_storage::Value) -> Option<Datum> {
+        self.dict.decode(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_storage::Schema;
+
+    #[test]
+    fn insert_get_names() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.insert("R", Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2]]));
+        c.insert("S", Relation::from_u32_rows(Schema::of(&[0]), &[&[1]]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.names(), vec!["R", "S"]);
+        assert_eq!(c.get("R").unwrap().len(), 1);
+        assert!(c.get("T").is_none());
+    }
+
+    #[test]
+    fn shared_dictionary() {
+        let c = Catalog::new();
+        let v = c.dictionary().encode_str("bob");
+        assert_eq!(c.decode(v), Some(Datum::str("bob")));
+    }
+}

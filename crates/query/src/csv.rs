@@ -1,0 +1,109 @@
+//! Minimal CSV ingestion: comma-separated, no quoting of commas, integer
+//! columns encoded inline, anything else interned through the dictionary.
+
+use bytes::Bytes;
+use wcoj_storage::{Datum, Dictionary, Relation, Schema, StorageError, Value};
+
+/// Parses CSV text into a relation over attributes `0..arity` (arity is
+/// taken from the first non-empty line). Fields parsing as `u64` become
+/// integer data; everything else is interned as a string.
+///
+/// # Errors
+/// [`StorageError::ArityMismatch`] if a later line has a different number
+/// of fields.
+pub fn load_csv(content: &str, dict: &Dictionary) -> Result<Relation, StorageError> {
+    // Bytes is used for cheap zero-copy slicing of the input buffer.
+    let buf = Bytes::copy_from_slice(content.as_bytes());
+    let text = std::str::from_utf8(&buf).expect("came from &str");
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut arity: Option<usize> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        match arity {
+            None => arity = Some(fields.len()),
+            Some(k) if k != fields.len() => {
+                return Err(StorageError::ArityMismatch {
+                    expected: k,
+                    got: fields.len(),
+                });
+            }
+            _ => {}
+        }
+        let row: Vec<Value> = fields
+            .iter()
+            .map(|f| match f.parse::<u64>() {
+                Ok(v) if v < (1 << 63) => dict.encode(&Datum::Int(v)),
+                _ => dict.encode_str(f),
+            })
+            .collect();
+        rows.push(row);
+    }
+    let k = arity.unwrap_or(0);
+    let schema = Schema::new((0..k as u32).map(wcoj_storage::Attr).collect())
+        .expect("sequential attrs distinct");
+    Relation::from_rows(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_and_strings() {
+        let d = Dictionary::new();
+        let r = load_csv("1,alice\n2,bob\n3,alice\n", &d).unwrap();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 3);
+        let alice = d.encode_str("alice");
+        assert!(r.contains_row(&[Value(1), alice]));
+    }
+
+    #[test]
+    fn blank_lines_and_spacing() {
+        let d = Dictionary::new();
+        let r = load_csv("\n 1 , 2 \n\n3,4\n", &d).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains_row(&[Value(1), Value(2)]));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let d = Dictionary::new();
+        assert!(matches!(
+            load_csv("1,2\n3\n", &d),
+            Err(StorageError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let d = Dictionary::new();
+        let r = load_csv("1,2\n1,2\n", &d).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = Dictionary::new();
+        let r = load_csv("", &d).unwrap();
+        assert_eq!(r.arity(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversized_integers_become_strings() {
+        let d = Dictionary::new();
+        let big = u64::MAX.to_string();
+        let r = load_csv(&format!("{big}\n"), &d).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(d.len(), 1, "interned as a string");
+    }
+}

@@ -1,0 +1,211 @@
+//! Binding a parsed query against a catalog and evaluating it.
+
+use crate::parser::{ParsedQuery, ParsedTerm};
+use crate::{Catalog, QueryTextError};
+use wcoj_core::fullcq::{Subgoal, Term};
+use wcoj_storage::ops::project;
+use wcoj_storage::{Attr, Datum, Relation};
+
+/// Result of executing a text query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output tuples, one column per head variable (in head order).
+    pub relation: Relation,
+    /// Head variable names, aligned with the relation's columns.
+    pub columns: Vec<String>,
+}
+
+impl QueryResult {
+    /// Decodes all rows through the catalog dictionary for display.
+    #[must_use]
+    pub fn decoded_rows(&self, catalog: &Catalog) -> Vec<Vec<Datum>> {
+        self.relation
+            .iter_rows()
+            .map(|row| {
+                row.iter()
+                    .map(|&v| catalog.decode(v).unwrap_or(Datum::Int(v.0)))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Executes a parsed query against a catalog: §7.3 reduction per atom,
+/// worst-case-optimal join, projection onto the head.
+///
+/// # Errors
+/// Binding errors ([`QueryTextError::UnknownRelation`] /
+/// [`QueryTextError::ArityMismatch`] /
+/// [`QueryTextError::UnboundHeadVariable`]) or evaluation failures.
+pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryTextError> {
+    // Variable name → id (= attribute id), in first-occurrence order.
+    let mut var_names: Vec<String> = Vec::new();
+    let var_id = |name: &str, var_names: &mut Vec<String>| -> u32 {
+        if let Some(i) = var_names.iter().position(|v| v == name) {
+            i as u32
+        } else {
+            var_names.push(name.to_owned());
+            (var_names.len() - 1) as u32
+        }
+    };
+
+    let mut subgoals = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        let rel = catalog
+            .get(&atom.relation)
+            .ok_or_else(|| QueryTextError::UnknownRelation(atom.relation.clone()))?;
+        if rel.arity() != atom.terms.len() {
+            return Err(QueryTextError::ArityMismatch {
+                relation: atom.relation.clone(),
+                expected: rel.arity(),
+                got: atom.terms.len(),
+            });
+        }
+        let terms: Vec<Term> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                ParsedTerm::Var(v) => Term::Var(var_id(v, &mut var_names)),
+                ParsedTerm::Int(n) => Term::Const(catalog.dictionary().encode(&Datum::Int(*n))),
+                ParsedTerm::Str(s) => Term::Const(catalog.dictionary().encode_str(s)),
+            })
+            .collect();
+        subgoals.push(
+            Subgoal::new(rel.clone(), terms).expect("arity checked above"),
+        );
+    }
+
+    // Head variables must occur in the body.
+    let head_ids: Vec<u32> = q
+        .head_vars
+        .iter()
+        .map(|v| {
+            var_names
+                .iter()
+                .position(|x| x == v)
+                .map(|i| i as u32)
+                .ok_or_else(|| QueryTextError::UnboundHeadVariable(v.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let full = wcoj_core::fullcq::evaluate(&subgoals)
+        .map_err(|e| QueryTextError::Eval(e.to_string()))?;
+
+    // Project onto the head (identity for full queries).
+    let head_attrs: Vec<Attr> = head_ids.iter().map(|&v| Attr(v)).collect();
+    let relation = if full.schema().attrs() == head_attrs.as_slice() {
+        full
+    } else {
+        project(&full, &head_attrs).map_err(|e| QueryTextError::Eval(e.to_string()))?
+    };
+    Ok(QueryResult {
+        relation,
+        columns: q.head_vars.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{load_csv, parse_query};
+    use wcoj_storage::{Schema, Value};
+
+    fn catalog_with_triangle() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(
+            "R",
+            Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2], &[1, 3]]),
+        );
+        c.insert(
+            "S",
+            Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[2, 4], &[3, 4]]),
+        );
+        c.insert(
+            "T",
+            Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 4]]),
+        );
+        c
+    }
+
+    #[test]
+    fn end_to_end_triangle() {
+        let c = catalog_with_triangle();
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let out = execute(&q, &c).unwrap();
+        assert_eq!(out.columns, vec!["x", "y", "z"]);
+        assert_eq!(out.relation.len(), 2);
+        assert!(out.relation.contains_row(&[Value(1), Value(2), Value(4)]));
+    }
+
+    #[test]
+    fn projection_head() {
+        let c = catalog_with_triangle();
+        let q = parse_query("Ans(x) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let out = execute(&q, &c).unwrap();
+        assert_eq!(out.relation.len(), 1);
+        assert!(out.relation.contains_row(&[Value(1)]));
+    }
+
+    #[test]
+    fn reordered_head() {
+        let c = catalog_with_triangle();
+        let q = parse_query("Ans(z, x) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let out = execute(&q, &c).unwrap();
+        assert_eq!(out.columns, vec!["z", "x"]);
+        assert!(out.relation.contains_row(&[Value(4), Value(1)]));
+    }
+
+    #[test]
+    fn constants_in_query() {
+        let c = catalog_with_triangle();
+        let q = parse_query("Ans(y) :- R(1, y)").unwrap();
+        let out = execute(&q, &c).unwrap();
+        assert_eq!(out.relation.len(), 2); // y ∈ {2, 3}
+    }
+
+    #[test]
+    fn binding_errors() {
+        let c = catalog_with_triangle();
+        let q = parse_query("Ans(x) :- Nope(x)").unwrap();
+        assert!(matches!(
+            execute(&q, &c),
+            Err(QueryTextError::UnknownRelation(_))
+        ));
+        let q = parse_query("Ans(x) :- R(x)").unwrap();
+        assert!(matches!(
+            execute(&q, &c),
+            Err(QueryTextError::ArityMismatch { .. })
+        ));
+        let q = parse_query("Ans(w) :- R(x, y)").unwrap();
+        assert!(matches!(
+            execute(&q, &c),
+            Err(QueryTextError::UnboundHeadVariable(_))
+        ));
+    }
+
+    #[test]
+    fn csv_to_query_pipeline() {
+        let mut c = Catalog::new();
+        let edges = load_csv("alice,bob\nbob,carol\nalice,carol\n", c.dictionary()).unwrap();
+        c.insert("E", edges);
+        let q = parse_query("Tri(x, y, z) :- E(x, y), E(y, z), E(x, z).").unwrap();
+        let out = execute(&q, &c).unwrap();
+        assert_eq!(out.relation.len(), 1);
+        let decoded = out.decoded_rows(&c);
+        assert_eq!(
+            decoded[0],
+            vec![Datum::str("alice"), Datum::str("bob"), Datum::str("carol")]
+        );
+    }
+
+    #[test]
+    fn string_constants_filter() {
+        let mut c = Catalog::new();
+        let r = load_csv("alice,1\nbob,2\n", c.dictionary()).unwrap();
+        c.insert("R", r);
+        let q = parse_query(r#"Ans(n) :- R("alice", n)"#).unwrap();
+        let out = execute(&q, &c).unwrap();
+        assert_eq!(out.relation.len(), 1);
+        assert!(out.relation.contains_row(&[Value(1)]));
+    }
+}

@@ -1,0 +1,78 @@
+//! Text front-end: Datalog-style conjunctive queries and a CSV loader.
+//!
+//! ```text
+//! Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).
+//! ```
+//!
+//! Queries are parsed into [`ParsedQuery`], bound against a [`Catalog`] of
+//! named relations, reduced per §7.3 (constants and repeated variables are
+//! allowed), evaluated with the worst-case-optimal join from `wcoj-core`,
+//! and finally projected onto the head variables. The paper's machinery is
+//! worst-case optimal for *full* queries (head = all body variables); a
+//! narrower head is supported as a post-projection for usability.
+
+mod catalog;
+mod csv;
+mod exec;
+mod parser;
+mod program;
+
+pub use catalog::Catalog;
+pub use csv::load_csv;
+pub use exec::{execute, QueryResult};
+pub use parser::{parse_query, ParsedAtom, ParsedQuery, ParsedTerm};
+pub use program::{parse_program, run_program, Program};
+
+use std::fmt;
+
+/// Errors from parsing, binding, or executing a text query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTextError {
+    /// Syntax error with a human-readable description and byte offset.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset into the input.
+        at: usize,
+    },
+    /// The query references a relation the catalog does not contain.
+    UnknownRelation(String),
+    /// An atom's arity differs from its relation's.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity in the catalog.
+        expected: usize,
+        /// Arity written in the query.
+        got: usize,
+    },
+    /// A head variable does not occur in the body.
+    UnboundHeadVariable(String),
+    /// Evaluation failure from the join engine.
+    Eval(String),
+}
+
+impl fmt::Display for QueryTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryTextError::Parse { message, at } => {
+                write!(f, "parse error at byte {at}: {message}")
+            }
+            QueryTextError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            QueryTextError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation {relation} has arity {expected}, used with {got} terms"
+            ),
+            QueryTextError::UnboundHeadVariable(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            QueryTextError::Eval(m) => write!(f, "evaluation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryTextError {}

@@ -1,0 +1,274 @@
+//! A small recursive-descent parser for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := head ":-" atom ("," atom)* "."?
+//! head   := ident "(" termlist? ")"
+//! atom   := ident "(" termlist? ")"
+//! term   := ident            (variable: starts with a letter)
+//!         | integer          (constant)
+//!         | '"' chars '"'    (string constant)
+//! ```
+
+use crate::QueryTextError;
+
+/// A parsed term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedTerm {
+    /// A variable name.
+    Var(String),
+    /// An integer constant.
+    Int(u64),
+    /// A string constant.
+    Str(String),
+}
+
+/// A parsed body atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedAtom {
+    /// Relation name.
+    pub relation: String,
+    /// Terms, one per column.
+    pub terms: Vec<ParsedTerm>,
+}
+
+/// A parsed conjunctive query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedQuery {
+    /// Head predicate name (informational).
+    pub head_name: String,
+    /// Head variables, in output order.
+    pub head_vars: Vec<String>,
+    /// Body atoms.
+    pub atoms: Vec<ParsedAtom>,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, QueryTextError> {
+        Err(QueryTextError::Parse {
+            message: message.into(),
+            at: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), QueryTextError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{token}`"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryTextError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start || !self.src[start..].starts_with(|c: char| c.is_alphabetic() || c == '_')
+        {
+            self.pos = start;
+            return self.err("expected identifier");
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+
+    fn term(&mut self) -> Result<ParsedTerm, QueryTextError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '"' {
+                        let s = self.src[start..self.pos].to_owned();
+                        self.pos += 1;
+                        return Ok(ParsedTerm::Str(s));
+                    }
+                    self.pos += c.len_utf8();
+                }
+                self.err("unterminated string literal")
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.src[start..self.pos]
+                    .parse::<u64>()
+                    .map(ParsedTerm::Int)
+                    .map_err(|_| QueryTextError::Parse {
+                        message: "integer literal out of range".into(),
+                        at: start,
+                    })
+            }
+            _ => self.ident().map(ParsedTerm::Var),
+        }
+    }
+
+    fn atom(&mut self) -> Result<ParsedAtom, QueryTextError> {
+        let relation = self.ident()?;
+        self.expect("(")?;
+        let mut terms = Vec::new();
+        self.skip_ws();
+        if !self.eat(")") {
+            loop {
+                terms.push(self.term()?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        Ok(ParsedAtom { relation, terms })
+    }
+}
+
+/// Parses a conjunctive query.
+///
+/// # Errors
+/// [`QueryTextError::Parse`] with a byte offset on syntax errors.
+pub fn parse_query(src: &str) -> Result<ParsedQuery, QueryTextError> {
+    let mut c = Cursor { src, pos: 0 };
+    let head = c.atom()?;
+    let mut head_vars = Vec::with_capacity(head.terms.len());
+    for t in &head.terms {
+        match t {
+            ParsedTerm::Var(v) => head_vars.push(v.clone()),
+            _ => return c.err("head terms must be variables"),
+        }
+    }
+    c.expect(":-")?;
+    let mut atoms = Vec::new();
+    loop {
+        atoms.push(c.atom()?);
+        if !c.eat(",") {
+            break;
+        }
+    }
+    let _ = c.eat(".");
+    c.skip_ws();
+    if c.pos != src.len() {
+        return c.err("trailing input after query");
+    }
+    Ok(ParsedQuery {
+        head_name: head.relation,
+        head_vars,
+        atoms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_query_parses() {
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        assert_eq!(q.head_name, "Ans");
+        assert_eq!(q.head_vars, vec!["x", "y", "z"]);
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.atoms[0].relation, "R");
+        assert_eq!(
+            q.atoms[0].terms,
+            vec![
+                ParsedTerm::Var("x".into()),
+                ParsedTerm::Var("y".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn constants_parse() {
+        let q = parse_query(r#"Q(x) :- R(x, 42, "alice")"#).unwrap();
+        assert_eq!(
+            q.atoms[0].terms,
+            vec![
+                ParsedTerm::Var("x".into()),
+                ParsedTerm::Int(42),
+                ParsedTerm::Str("alice".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_query("Q(x):-R(x,y),S(y)").unwrap();
+        let b = parse_query("  Q( x )  :-  R( x , y ) ,\n S( y ) .  ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let q = parse_query("Q() :- R(), S(x)").unwrap();
+        assert!(q.head_vars.is_empty());
+        assert!(q.atoms[0].terms.is_empty());
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        let q = parse_query("q_out(my_var) :- edge_list(my_var, my_var)").unwrap();
+        assert_eq!(q.head_name, "q_out");
+        assert_eq!(q.atoms[0].relation, "edge_list");
+    }
+
+    #[test]
+    fn syntax_errors_have_offsets() {
+        for bad in [
+            "Q(x)",                 // missing body
+            "Q(x) :- ",             // empty body
+            "Q(x) :- R(x",          // unclosed paren
+            "Q(1) :- R(x)",         // constant head
+            "Q(x) :- R(x) garbage", // trailing
+            r#"Q(x) :- R("oops)"#,  // unterminated string
+            "(x) :- R(x)",          // missing head name
+        ] {
+            let e = parse_query(bad).unwrap_err();
+            assert!(matches!(e, QueryTextError::Parse { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn repeated_vars_allowed() {
+        let q = parse_query("Q(x) :- R(x, x)").unwrap();
+        assert_eq!(q.atoms[0].terms.len(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! 256-bit signed products for overflow-free comparison of `i128` cross
+//! products, used by [`Rational`](crate::Rational)'s `Ord` impl.
+
+use std::cmp::Ordering;
+
+/// Full 256-bit unsigned product of two `u128`s as `(high, low)`.
+#[must_use]
+pub fn mul_u128_wide(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+
+    // low = ll + ((lh + hl) << 64), tracking carries into high.
+    let (mid, c1) = lh.overflowing_add(hl);
+    let mid_lo = mid << 64;
+    let mid_hi = (mid >> 64) + if c1 { 1u128 << 64 } else { 0 };
+    let (low, c2) = ll.overflowing_add(mid_lo);
+    let high = hh + mid_hi + u128::from(c2);
+    (high, low)
+}
+
+/// Full 256-bit signed product of two `i128`s as `(sign, |a*b| as (hi, lo))`.
+/// Sign is `-1`, `0` or `1`.
+#[must_use]
+pub fn mul_i128_wide(a: i128, b: i128) -> (i8, (u128, u128)) {
+    let sign = (a.signum() * b.signum()) as i8;
+    let mag = mul_u128_wide(a.unsigned_abs(), b.unsigned_abs());
+    (sign, mag)
+}
+
+/// Exactly compares `a*b` with `c*d` without overflow.
+#[must_use]
+pub fn cmp_prod(a: i128, b: i128, c: i128, d: i128) -> Ordering {
+    let (s1, m1) = mul_i128_wide(a, b);
+    let (s2, m2) = mul_i128_wide(c, d);
+    match s1.cmp(&s2) {
+        Ordering::Equal => {
+            if s1 >= 0 {
+                m1.cmp(&m2)
+            } else {
+                m2.cmp(&m1)
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        assert_eq!(mul_u128_wide(3, 4), (0, 12));
+        assert_eq!(mul_u128_wide(0, u128::MAX), (0, 0));
+    }
+
+    #[test]
+    fn max_product() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1 → high = 2^128 - 2, low = 1.
+        assert_eq!(mul_u128_wide(u128::MAX, u128::MAX), (u128::MAX - 1, 1));
+    }
+
+    #[test]
+    fn crossing_64bit_boundary() {
+        let a = 1u128 << 64;
+        assert_eq!(mul_u128_wide(a, a), (1, 0));
+        assert_eq!(mul_u128_wide(a, 3), (0, 3 << 64));
+    }
+
+    #[test]
+    fn signed_product_signs() {
+        assert_eq!(mul_i128_wide(-2, 3).0, -1);
+        assert_eq!(mul_i128_wide(-2, -3).0, 1);
+        assert_eq!(mul_i128_wide(0, -3).0, 0);
+    }
+
+    #[test]
+    fn cmp_prod_basic() {
+        assert_eq!(cmp_prod(2, 3, 7, 1), Ordering::Less);
+        assert_eq!(cmp_prod(2, 3, 3, 2), Ordering::Equal);
+        assert_eq!(cmp_prod(-2, 3, 1, 1), Ordering::Less);
+        assert_eq!(cmp_prod(-2, -3, 5, 1), Ordering::Greater);
+    }
+
+    #[test]
+    fn cmp_prod_huge() {
+        // i128::MAX * i128::MAX vs (i128::MAX - 1) * i128::MAX
+        assert_eq!(
+            cmp_prod(i128::MAX, i128::MAX, i128::MAX - 1, i128::MAX),
+            Ordering::Greater
+        );
+        // symmetric negatives
+        assert_eq!(
+            cmp_prod(-i128::MAX, i128::MAX, -(i128::MAX - 1), i128::MAX),
+            Ordering::Less
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! A fast, non-cryptographic hasher for join keys.
+//!
+//! The standard library's SipHash is robust against HashDoS but slow for the
+//! short integer keys that dominate join processing. This is the well-known
+//! "Fx" multiply-rotate scheme (as used inside rustc); implemented here
+//! because no hashing crate is in the allowed dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher over native words.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, w: u64) {
+        self.state = (self.state.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(u64::from(v));
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Convenience constructor with a capacity hint.
+#[must_use]
+pub fn map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Convenience constructor with a capacity hint.
+#[must_use]
+pub fn set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(1);
+        a.write_u64(2);
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_stream_tail_handled() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]); // shorter than a word
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0, 0, 0, 0, 0, 9]); // word + tail
+        let _ = (a.finish(), b.finish()); // must not panic
+    }
+
+    #[test]
+    fn usable_in_collections() {
+        let mut m: FxHashMap<u64, &str> = map_with_capacity(4);
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<(u64, u64)> = set_with_capacity(4);
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn no_trivial_collisions_on_small_range() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

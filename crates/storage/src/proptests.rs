@@ -1,0 +1,107 @@
+//! Property-based tests: the counted trie must agree with the relational
+//! algebra on every section/projection query, for random relations and
+//! random attribute orders — this is the load-bearing equivalence behind
+//! `Recursive-Join`'s (ST1)–(ST3) usage.
+
+use crate::ops::{project, select_eq};
+use crate::{Attr, Relation, Schema, TrieIndex, Value};
+use proptest::prelude::*;
+
+fn arb_rel(arity: usize, max_rows: usize, dom: u64) -> impl Strategy<Value = Relation> {
+    let attrs: Vec<u32> = (0..arity as u32).collect();
+    prop::collection::vec(prop::collection::vec(0..dom, arity), 0..max_rows).prop_map(
+        move |rows| {
+            let vrows: Vec<Vec<Value>> = rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Value).collect())
+                .collect();
+            Relation::from_rows(Schema::of(&attrs), vrows).expect("arity consistent")
+        },
+    )
+}
+
+/// Applies `σ` for each prefix value and `π` for the remaining columns —
+/// the relational-algebra definition of a section.
+fn section_by_ops(rel: &Relation, order: &[Attr], prefix: &[Value], extra: usize) -> Relation {
+    let mut cur = rel.clone();
+    for (a, v) in order.iter().zip(prefix) {
+        cur = select_eq(&cur, *a, *v).expect("attr present");
+    }
+    let keep: Vec<Attr> = order[prefix.len()..prefix.len() + extra].to_vec();
+    project(&cur, &keep).expect("attrs present")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Root-level distinct counts equal projection cardinalities for every
+    /// prefix depth, under both the identity and the reversed order.
+    #[test]
+    fn trie_counts_match_projections(rel in arb_rel(3, 40, 5), reversed in any::<bool>()) {
+        let mut order: Vec<Attr> = rel.schema().attrs().to_vec();
+        if reversed {
+            order.reverse();
+        }
+        let trie = TrieIndex::build(&rel, &order).expect("permutation");
+        for depth in 1..=3usize {
+            let keep: Vec<Attr> = order[..depth].to_vec();
+            let p = project(&rel, &keep).expect("attrs");
+            prop_assert_eq!(trie.distinct_count(trie.root(), depth), p.len());
+        }
+    }
+
+    /// Sections reached by descent equal σ+π by the algebra, including
+    /// their enumerations (ST3).
+    #[test]
+    fn trie_sections_match_algebra(rel in arb_rel(3, 40, 4)) {
+        let order: Vec<Attr> = rel.schema().attrs().to_vec();
+        let trie = TrieIndex::build(&rel, &order).expect("permutation");
+        for v0 in 0..4u64 {
+            let node = trie.descend(trie.root(), Value(v0));
+            let expect1 = section_by_ops(&rel, &order, &[Value(v0)], 1);
+            let expect2 = section_by_ops(&rel, &order, &[Value(v0)], 2);
+            match node {
+                None => prop_assert!(expect1.is_empty()),
+                Some(n) => {
+                    prop_assert_eq!(trie.distinct_count(n, 1), expect1.len());
+                    prop_assert_eq!(trie.distinct_count(n, 2), expect2.len());
+                    // enumeration must list exactly the projection
+                    let listed = trie.enumerate(n, 2);
+                    prop_assert_eq!(listed.len(), expect2.len());
+                    for row in &listed {
+                        prop_assert!(expect2.contains_row(row));
+                    }
+                }
+            }
+        }
+    }
+
+    /// (ST1) membership of full tuples agrees with the relation.
+    #[test]
+    fn trie_membership_matches(rel in arb_rel(2, 30, 4)) {
+        let order: Vec<Attr> = rel.schema().attrs().to_vec();
+        let trie = TrieIndex::build(&rel, &order).expect("permutation");
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let row = [Value(a), Value(b)];
+                prop_assert_eq!(trie.contains_prefix(&row), rel.contains_row(&row));
+            }
+        }
+    }
+
+    /// Deep enumeration from the root reproduces the sorted relation.
+    #[test]
+    fn trie_full_enumeration_roundtrip(rel in arb_rel(3, 40, 5)) {
+        let order: Vec<Attr> = rel.schema().attrs().to_vec();
+        let trie = TrieIndex::build(&rel, &order).expect("permutation");
+        let listed = trie.enumerate(trie.root(), 3);
+        prop_assert_eq!(listed.len(), rel.len());
+        for row in &listed {
+            prop_assert!(rel.contains_row(row));
+        }
+        // sortedness
+        for w in listed.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

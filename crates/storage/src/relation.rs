@@ -1,0 +1,364 @@
+//! Row-major relations with set semantics.
+
+use crate::hash::{set_with_capacity, FxHashSet};
+use crate::{Schema, StorageError, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A relation instance: a set of tuples over a [`Schema`].
+///
+/// Rows are stored row-major in one flat buffer, so iteration touches
+/// contiguous memory and cloning performs a single allocation. Duplicate
+/// rows may transiently exist while loading; [`Relation::sort_dedup`]
+/// restores set semantics and every constructor that finalises a relation
+/// calls it.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    data: Vec<Value>,
+    /// Whether a *nullary* relation contains its single possible (empty)
+    /// tuple; ignored for positive arities.
+    nullary_present: bool,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    #[must_use]
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            data: Vec::new(),
+            nullary_present: false,
+        }
+    }
+
+    /// The *empty* nullary relation (logical `false`); see
+    /// [`Relation::nullary_true`] for the join identity.
+    #[must_use]
+    pub fn unit() -> Relation {
+        Relation::empty(Schema::of(&[]))
+    }
+
+    /// Builds from explicit rows, sorting and deduplicating.
+    ///
+    /// # Errors
+    /// [`StorageError::ArityMismatch`] if any row has the wrong length.
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Relation, StorageError> {
+        let mut rel = Relation::empty(schema);
+        rel.data.reserve(rows.len() * rel.arity());
+        for row in rows {
+            rel.push_row(&row)?;
+        }
+        rel.sort_dedup();
+        Ok(rel)
+    }
+
+    /// Test/generator convenience: rows of `u32`s.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch (test helper).
+    #[must_use]
+    pub fn from_u32_rows(schema: Schema, rows: &[&[u32]]) -> Relation {
+        let vrows = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| Value::from(v)).collect())
+            .collect();
+        Relation::from_rows(schema, vrows).expect("arity mismatch in from_u32_rows")
+    }
+
+    /// Appends one row (no deduplication; call [`Relation::sort_dedup`]
+    /// when done loading).
+    ///
+    /// # Errors
+    /// [`StorageError::ArityMismatch`] on wrong arity.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<(), StorageError> {
+        if row.len() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        if self.arity() == 0 {
+            self.nullary_present = true;
+        } else {
+            self.data.extend_from_slice(row);
+        }
+        Ok(())
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of rows.
+    ///
+    /// For the nullary schema this is 0 or 1 ("false"/"true"): the unit
+    /// relation is represented with an empty buffer, so nullary relations
+    /// track their single logical row via an internal presence flag.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.arity() == 0 {
+            usize::from(self.nullary_present)
+        } else {
+            self.data.len() / self.arity()
+        }
+    }
+
+    /// `true` iff there are no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row `i` as a value slice.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or the relation is nullary.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[Value] {
+        let k = self.arity();
+        assert!(k > 0, "nullary relation has no addressable rows");
+        &self.data[i * k..(i + 1) * k]
+    }
+
+    /// Iterates rows as value slices. Nullary relations yield their single
+    /// empty row if present.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        let k = self.arity();
+        let n = self.len();
+        (0..n).map(move |i| {
+            if k == 0 {
+                &[] as &[Value]
+            } else {
+                &self.data[i * k..(i + 1) * k]
+            }
+        })
+    }
+
+    /// Sorts rows lexicographically and removes duplicates.
+    pub fn sort_dedup(&mut self) {
+        let k = self.arity();
+        if k == 0 || self.data.is_empty() {
+            return;
+        }
+        let n = self.data.len() / k;
+        let mut idx: Vec<usize> = (0..n).collect();
+        let data = &self.data;
+        idx.sort_unstable_by(|&a, &b| cmp_rows(&data[a * k..a * k + k], &data[b * k..b * k + k]));
+        idx.dedup_by(|&mut a, &mut b| data[a * k..a * k + k] == data[b * k..b * k + k]);
+        let mut out = Vec::with_capacity(idx.len() * k);
+        for i in idx {
+            out.extend_from_slice(&self.data[i * k..i * k + k]);
+        }
+        self.data = out;
+    }
+
+    /// Marks the nullary relation as containing the empty tuple.
+    ///
+    /// # Panics
+    /// Panics if the schema is not nullary.
+    pub fn set_nullary_present(&mut self, present: bool) {
+        assert_eq!(self.arity(), 0, "only nullary relations carry this flag");
+        self.nullary_present = present;
+    }
+
+    /// Membership test via linear scan of sorted data (binary search when
+    /// sorted); for repeated probes build a [`RowSet`].
+    #[must_use]
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        if row.len() != self.arity() {
+            return false;
+        }
+        if self.arity() == 0 {
+            return self.nullary_present;
+        }
+        self.iter_rows().any(|r| r == row)
+    }
+
+    /// Builds a hash set over the rows for O(1) membership probes.
+    #[must_use]
+    pub fn row_set(&self) -> RowSet {
+        let mut set = set_with_capacity(self.len());
+        for r in self.iter_rows() {
+            set.insert(r.to_vec().into_boxed_slice());
+        }
+        RowSet {
+            arity: self.arity(),
+            set,
+        }
+    }
+
+    /// Consumes and returns the sorted/deduplicated relation.
+    #[must_use]
+    pub fn into_sorted(mut self) -> Relation {
+        self.sort_dedup();
+        self
+    }
+
+    /// Direct access to the flat row-major buffer (row length =
+    /// [`Relation::arity`]).
+    #[must_use]
+    pub fn raw_data(&self) -> &[Value] {
+        &self.data
+    }
+}
+
+// The nullary-presence flag lives outside the main struct body above purely
+// for documentation flow; define it here.
+impl Relation {
+    /// Builds a nullary relation representing logical `true` (one empty
+    /// tuple).
+    #[must_use]
+    pub fn nullary_true() -> Relation {
+        let mut r = Relation::unit();
+        r.nullary_present = true;
+        r
+    }
+}
+
+/// Lexicographic comparison of two equal-length rows.
+#[must_use]
+pub(crate) fn cmp_rows(a: &[Value], b: &[Value]) -> Ordering {
+    a.cmp(b)
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation{} [{} rows]", self.schema, self.len())?;
+        for (i, r) in self.iter_rows().enumerate() {
+            if i >= 20 {
+                writeln!(f, "  …")?;
+                break;
+            }
+            writeln!(
+                f,
+                "  ({})",
+                r.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Hash set over rows for O(1) membership probes during pruning steps.
+pub struct RowSet {
+    arity: usize,
+    set: FxHashSet<Box<[Value]>>,
+}
+
+impl RowSet {
+    /// `true` iff the row is present (arity mismatches are simply absent).
+    #[must_use]
+    pub fn contains(&self, row: &[Value]) -> bool {
+        row.len() == self.arity && self.set.contains(row)
+    }
+
+    /// Number of distinct rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` iff empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
+        Relation::from_u32_rows(Schema::of(schema), rows)
+    }
+
+    #[test]
+    fn from_rows_sorts_and_dedups() {
+        let r = rel(&[0, 1], &[&[2, 2], &[1, 1], &[2, 2], &[1, 0]]);
+        assert_eq!(r.len(), 3);
+        let rows: Vec<Vec<Value>> = r.iter_rows().map(<[Value]>::to_vec).collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value(1), Value(0)],
+                vec![Value(1), Value(1)],
+                vec![Value(2), Value(2)]
+            ]
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::empty(Schema::of(&[0, 1]));
+        assert_eq!(
+            r.push_row(&[Value(1)]),
+            Err(StorageError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn unit_and_nullary_true() {
+        let f = Relation::unit();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        let t = Relation::nullary_true();
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_row(&[]));
+        assert!(!f.contains_row(&[]));
+        assert_eq!(t.iter_rows().count(), 1);
+        assert_eq!(f.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn contains_and_rowset() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        assert!(r.contains_row(&[Value(1), Value(2)]));
+        assert!(!r.contains_row(&[Value(2), Value(1)]));
+        assert!(!r.contains_row(&[Value(1)]));
+        let s = r.row_set();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&[Value(3), Value(4)]));
+        assert!(!s.contains(&[Value(3)]));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn row_access() {
+        let r = rel(&[0], &[&[5], &[3]]);
+        assert_eq!(r.row(0), &[Value(3)]);
+        assert_eq!(r.row(1), &[Value(5)]);
+    }
+
+    #[test]
+    fn debug_format_truncates() {
+        let rows: Vec<Vec<Value>> = (0..30).map(|i| vec![Value(i)]).collect();
+        let r = Relation::from_rows(Schema::of(&[0]), rows).unwrap();
+        let s = format!("{r:?}");
+        assert!(s.contains("[30 rows]"));
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn sort_dedup_idempotent() {
+        let mut r = rel(&[0, 1], &[&[1, 1], &[0, 0]]);
+        let before = r.clone();
+        r.sort_dedup();
+        assert_eq!(r, before);
+    }
+}

@@ -1,0 +1,228 @@
+//! Attributes and schemas.
+
+use crate::StorageError;
+use std::fmt;
+
+/// An attribute (column) identifier.
+///
+/// The storage layer treats attributes as opaque small integers; the query
+/// front-end (`wcoj-query`) maps human-readable names onto them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(pub u32);
+
+impl Attr {
+    /// Index form for array addressing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl From<u32> for Attr {
+    fn from(v: u32) -> Self {
+        Attr(v)
+    }
+}
+
+/// An ordered, duplicate-free list of attributes: the column layout of a
+/// relation. The *order* is storage layout, not semantics — natural-join
+/// semantics only use the attribute *set*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Schema(Vec<Attr>);
+
+impl Schema {
+    /// Builds a schema, rejecting duplicates.
+    ///
+    /// # Errors
+    /// [`StorageError::DuplicateAttr`] if an attribute repeats.
+    pub fn new(attrs: Vec<Attr>) -> Result<Schema, StorageError> {
+        let mut seen = Vec::with_capacity(attrs.len());
+        for &a in &attrs {
+            if seen.contains(&a) {
+                return Err(StorageError::DuplicateAttr(a));
+            }
+            seen.push(a);
+        }
+        Ok(Schema(attrs))
+    }
+
+    /// Builds a schema from raw ids, panicking on duplicates (tests and
+    /// generators use this; data paths use [`Schema::new`]).
+    #[must_use]
+    pub fn of(ids: &[u32]) -> Schema {
+        Schema::new(ids.iter().map(|&v| Attr(v)).collect()).expect("duplicate attr in Schema::of")
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff the schema has no attributes (the nullary relation).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The attributes in storage order.
+    #[must_use]
+    pub fn attrs(&self) -> &[Attr] {
+        &self.0
+    }
+
+    /// Position of `a` in storage order.
+    #[must_use]
+    pub fn position(&self, a: Attr) -> Option<usize> {
+        self.0.iter().position(|&x| x == a)
+    }
+
+    /// `true` iff `a` is one of this schema's attributes.
+    #[must_use]
+    pub fn contains(&self, a: Attr) -> bool {
+        self.position(a).is_some()
+    }
+
+    /// `true` iff every attribute of `other` appears here.
+    #[must_use]
+    pub fn contains_all(&self, other: &Schema) -> bool {
+        other.attrs().iter().all(|&a| self.contains(a))
+    }
+
+    /// Attributes shared with `other`, in *this* schema's order.
+    #[must_use]
+    pub fn intersection(&self, other: &Schema) -> Vec<Attr> {
+        self.0
+            .iter()
+            .copied()
+            .filter(|&a| other.contains(a))
+            .collect()
+    }
+
+    /// Attributes of `self` absent from `other`, in this schema's order.
+    #[must_use]
+    pub fn difference(&self, other: &Schema) -> Vec<Attr> {
+        self.0
+            .iter()
+            .copied()
+            .filter(|&a| !other.contains(a))
+            .collect()
+    }
+
+    /// This schema followed by `other`'s attributes not already present.
+    #[must_use]
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut attrs = self.0.clone();
+        for &a in other.attrs() {
+            if !attrs.contains(&a) {
+                attrs.push(a);
+            }
+        }
+        Schema(attrs)
+    }
+
+    /// Positions (into this schema) of the given attributes, in the order
+    /// given.
+    ///
+    /// # Errors
+    /// [`StorageError::UnknownAttr`] if an attribute is missing.
+    pub fn positions_of(&self, attrs: &[Attr]) -> Result<Vec<usize>, StorageError> {
+        attrs
+            .iter()
+            .map(|&a| self.position(a).ok_or(StorageError::UnknownAttr(a)))
+            .collect()
+    }
+
+    /// Same attribute *set* (ignoring order)?
+    #[must_use]
+    pub fn same_set(&self, other: &Schema) -> bool {
+        self.arity() == other.arity() && self.contains_all(other)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Attr> for Schema {
+    /// Collects attributes, panicking on duplicates (infallible builder for
+    /// internal call sites that have already deduplicated).
+    fn from_iter<T: IntoIterator<Item = Attr>>(iter: T) -> Self {
+        Schema::new(iter.into_iter().collect()).expect("duplicate attr collected into Schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_duplicates() {
+        assert!(Schema::new(vec![Attr(0), Attr(1)]).is_ok());
+        assert_eq!(
+            Schema::new(vec![Attr(0), Attr(0)]),
+            Err(StorageError::DuplicateAttr(Attr(0)))
+        );
+    }
+
+    #[test]
+    fn positions_and_membership() {
+        let s = Schema::of(&[3, 1, 4]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position(Attr(1)), Some(1));
+        assert_eq!(s.position(Attr(9)), None);
+        assert!(s.contains(Attr(4)));
+        assert_eq!(s.positions_of(&[Attr(4), Attr(3)]), Ok(vec![2, 0]));
+        assert_eq!(
+            s.positions_of(&[Attr(7)]),
+            Err(StorageError::UnknownAttr(Attr(7)))
+        );
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Schema::of(&[0, 1, 2]);
+        let b = Schema::of(&[2, 3]);
+        assert_eq!(a.intersection(&b), vec![Attr(2)]);
+        assert_eq!(a.difference(&b), vec![Attr(0), Attr(1)]);
+        assert_eq!(a.union(&b), Schema::of(&[0, 1, 2, 3]));
+        assert!(a.union(&b).contains_all(&a));
+        assert!(a.union(&b).contains_all(&b));
+    }
+
+    #[test]
+    fn same_set_ignores_order() {
+        assert!(Schema::of(&[0, 1]).same_set(&Schema::of(&[1, 0])));
+        assert!(!Schema::of(&[0, 1]).same_set(&Schema::of(&[0, 2])));
+        assert!(!Schema::of(&[0, 1]).same_set(&Schema::of(&[0])));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let e = Schema::of(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.arity(), 0);
+        assert!(Schema::of(&[0]).contains_all(&e));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Schema::of(&[0, 2])), "(A0, A2)");
+        assert_eq!(format!("{}", Attr(5)), "A5");
+    }
+}

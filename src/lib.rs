@@ -1,0 +1,52 @@
+//! # wcoj — worst-case optimal join algorithms
+//!
+//! A from-scratch Rust implementation of
+//! *Ngo, Porat, Ré, Rudra: Worst-case Optimal Join Algorithms* (PODS 2012,
+//! arXiv:1203.1952): the first join algorithms whose running time matches
+//! the AGM fractional-cover bound on the output size for **every** natural
+//! join query — provably beating any binary-join plan on adversarial
+//! inputs.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`core`] (`wcoj-core`) | the NPRR algorithm (§5), the Loomis–Whitney algorithm (§4), arity-≤2 star/cycle joins (§7.1), relaxed joins (§7.2), full CQs + FDs (§7.3), algorithmic BT/LW (§3) |
+//! | [`storage`] | relations, relational algebra, the counted-trie search tree |
+//! | [`hypergraph`] | query hypergraphs, fractional covers, AGM bounds, Lemma 3.2 tightening, Lemma 7.2 half-integrality |
+//! | [`lp`] | the two-phase simplex solver (f64 + exact rational) |
+//! | [`rational`] | exact `i128` rationals |
+//! | [`baselines`] | hash/sort-merge/nested-loop joins, binary plans, a System-R-style optimizer |
+//! | [`datagen`] | every instance family the paper's claims use |
+//! | [`query`] | a Datalog-style text front-end and CSV loader |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wcoj::prelude::*;
+//!
+//! // R(A,B) ⋈ S(B,C) ⋈ T(A,C) — the paper's motivating triangle query.
+//! let r = Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2], &[1, 3]]);
+//! let s = Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 4], &[3, 4]]);
+//! let t = Relation::from_u32_rows(Schema::of(&[0, 2]), &[&[1, 4]]);
+//! let out = join(&[r, s, t]).unwrap();
+//! assert_eq!(out.len(), 2);
+//! ```
+
+pub use wcoj_baselines as baselines;
+pub use wcoj_core as core;
+pub use wcoj_datagen as datagen;
+pub use wcoj_hypergraph as hypergraph;
+pub use wcoj_lp as lp;
+pub use wcoj_query as query;
+pub use wcoj_rational as rational;
+pub use wcoj_storage as storage;
+
+pub use wcoj_core::{agm_cover, join, join_with, Algorithm, JoinOutput, JoinQuery, JoinStats};
+
+/// The names most programs need.
+pub mod prelude {
+    pub use crate::core::{agm_cover, join, join_with, Algorithm, JoinQuery};
+    pub use crate::query::{execute, load_csv, parse_query, Catalog};
+    pub use crate::storage::{Attr, Datum, Dictionary, Relation, Schema, Value};
+}

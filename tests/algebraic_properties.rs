@@ -1,0 +1,114 @@
+//! Property-based tests of the relational algebra and the AGM machinery —
+//! invariants the paper's proofs lean on, checked on random instances.
+
+use proptest::prelude::*;
+use wcoj::hypergraph::{agm, cover, Hypergraph};
+use wcoj::prelude::*;
+use wcoj::storage::ops::{
+    difference, intersect, natural_join, project, reorder, semijoin, union,
+};
+
+fn arb_relation(attrs: &'static [u32], max_rows: usize, dom: u64) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(
+        prop::collection::vec(0..dom, attrs.len()),
+        0..max_rows,
+    )
+    .prop_map(move |rows| {
+        let vrows: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Value).collect())
+            .collect();
+        Relation::from_rows(Schema::of(attrs), vrows).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Join is commutative and associative as a set.
+    #[test]
+    fn join_commutative_associative(
+        r in arb_relation(&[0, 1], 20, 5),
+        s in arb_relation(&[1, 2], 20, 5),
+        t in arb_relation(&[2, 0], 20, 5),
+    ) {
+        let rs_t = natural_join(&natural_join(&r, &s), &t);
+        let r_st = natural_join(&r, &natural_join(&s, &t));
+        let r_st = reorder(&r_st, rs_t.schema()).unwrap();
+        prop_assert_eq!(rs_t.clone(), r_st);
+        let sr = natural_join(&s, &r);
+        let rs = natural_join(&r, &s);
+        prop_assert_eq!(reorder(&sr, rs.schema()).unwrap(), rs);
+    }
+
+    /// Semijoin = projection of the join onto the left schema.
+    #[test]
+    fn semijoin_is_projected_join(
+        r in arb_relation(&[0, 1], 25, 5),
+        s in arb_relation(&[1, 2], 25, 5),
+    ) {
+        let sj = semijoin(&r, &s);
+        let pj = project(&natural_join(&r, &s), r.schema().attrs()).unwrap();
+        prop_assert_eq!(sj, pj);
+    }
+
+    /// Set-algebra laws: union/intersection/difference over aligned
+    /// schemas.
+    #[test]
+    fn set_laws(
+        a in arb_relation(&[0, 1], 25, 4),
+        b in arb_relation(&[0, 1], 25, 4),
+    ) {
+        let u = union(&a, &b).unwrap();
+        let i = intersect(&a, &b).unwrap();
+        let d = difference(&a, &b).unwrap();
+        // |A ∪ B| = |A| + |B| − |A ∩ B|
+        prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+        // A = (A − B) ∪ (A ∩ B)
+        let back = union(&d, &i).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// Projection is monotone and never grows cardinality.
+    #[test]
+    fn projection_shrinks(r in arb_relation(&[0, 1, 2], 30, 4)) {
+        for attrs in [&[0u32][..], &[0, 1], &[2, 0]] {
+            let keep: Vec<Attr> = attrs.iter().map(|&a| Attr(a)).collect();
+            let p = project(&r, &keep).unwrap();
+            prop_assert!(p.len() <= r.len());
+        }
+    }
+
+    /// AGM bound holds for the triangle (via the actual join) and the
+    /// all-ones cover is always valid.
+    #[test]
+    fn agm_inequality_on_random_triangles(
+        r in arb_relation(&[0, 1], 30, 6),
+        s in arb_relation(&[1, 2], 30, 6),
+        t in arb_relation(&[0, 2], 30, 6),
+    ) {
+        let j = natural_join(&natural_join(&r, &s), &t);
+        let bound = ((r.len() * s.len() * t.len()) as f64).sqrt();
+        prop_assert!((j.len() as f64) <= bound + 1e-9);
+
+        if !r.is_empty() && !s.is_empty() && !t.is_empty() {
+            let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+            prop_assert!(cover::validate_cover(&h, &cover::all_ones(&h)).is_ok());
+            let sol = agm::optimal_cover(&h, &[r.len(), s.len(), t.len()]).unwrap();
+            prop_assert!(agm::within_bound(j.len(), sol.log2_bound));
+        }
+    }
+
+    /// The wcoj join agrees with the pairwise reference on random chains.
+    #[test]
+    fn wcoj_equals_pairwise_on_chains(
+        r in arb_relation(&[0, 1], 20, 4),
+        s in arb_relation(&[1, 2], 20, 4),
+        t in arb_relation(&[2, 3], 20, 4),
+    ) {
+        let expect = natural_join(&natural_join(&r, &s), &t);
+        let got = join(&[r, s, t]).unwrap();
+        let expect = reorder(&expect, got.schema()).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+}
