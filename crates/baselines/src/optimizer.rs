@@ -52,10 +52,7 @@ pub fn estimate_join_size(
 }
 
 /// Merged distinct-count profile of a (hypothetical) join result.
-fn merge_profiles(
-    l: &[(Attr, usize)],
-    r: &[(Attr, usize)],
-) -> Vec<(Attr, usize)> {
+fn merge_profiles(l: &[(Attr, usize)], r: &[(Attr, usize)]) -> Vec<(Attr, usize)> {
     let mut out = l.to_vec();
     for &(a, d) in r {
         match out.iter_mut().find(|(b, _)| *b == a) {
@@ -67,11 +64,7 @@ fn merge_profiles(
 }
 
 /// Estimated max-intermediate cost of a left-deep order.
-fn estimate_order_cost(
-    order: &[usize],
-    cards: &[f64],
-    profiles: &[Vec<(Attr, usize)>],
-) -> f64 {
+fn estimate_order_cost(order: &[usize], cards: &[f64], profiles: &[Vec<(Attr, usize)>]) -> f64 {
     let mut card = cards[order[0]];
     let mut profile = profiles[order[0]].clone();
     let mut max_est = card;
@@ -143,7 +136,10 @@ pub fn optimize_left_deep(relations: &[Relation]) -> Vec<usize> {
 #[must_use]
 pub fn best_actual_left_deep(relations: &[Relation]) -> (Vec<usize>, ExecStats) {
     let m = relations.len();
-    assert!((1..=8).contains(&m), "oracle search limited to 1..=8 relations");
+    assert!(
+        (1..=8).contains(&m),
+        "oracle search limited to 1..=8 relations"
+    );
     let mut best: Option<(Vec<usize>, ExecStats)> = None;
     permute((0..m).collect(), &mut |order| {
         let (_, stats) = execute_left_deep(relations, order).expect("join-only plan");

@@ -111,10 +111,7 @@ pub fn nested_loop_join(l: &Relation, r: &Relation) -> Relation {
     let mut buf = vec![Value(0); out_schema.arity()];
     for lr in l.iter_rows() {
         for rr in r.iter_rows() {
-            let matches = lpos
-                .iter()
-                .zip(&rpos)
-                .all(|(&lp, &rp)| lr[lp] == rr[rp]);
+            let matches = lpos.iter().zip(&rpos).all(|(&lp, &rp)| lr[lp] == rr[rp]);
             if matches {
                 for (slot, &(from_l, p)) in buf.iter_mut().zip(&plan) {
                     *slot = if from_l { lr[p] } else { rr[p] };
@@ -192,7 +189,11 @@ mod tests {
     fn identical_schemas_intersect() {
         let a = Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2], &[3, 4]]);
         let b = Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[3, 4], &[5, 6]]);
-        for j in [hash_join(&a, &b), sort_merge_join(&a, &b), nested_loop_join(&a, &b)] {
+        for j in [
+            hash_join(&a, &b),
+            sort_merge_join(&a, &b),
+            nested_loop_join(&a, &b),
+        ] {
             assert_eq!(j.len(), 1);
             assert!(j.contains_row(&[Value(3), Value(4)]));
         }

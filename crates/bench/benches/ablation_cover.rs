@@ -17,7 +17,12 @@ fn bench(c: &mut Criterion) {
     for n in [512u64, 2048] {
         let rels = wcoj_datagen::example_2_2(n);
         g.bench_with_input(BenchmarkId::new("optimal_cover", n), &rels, |b, rels| {
-            b.iter(|| join_with(rels, Algorithm::Nprr, None).unwrap().relation.len());
+            b.iter(|| {
+                join_with(rels, Algorithm::Nprr, None)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
         });
         g.bench_with_input(BenchmarkId::new("all_ones_cover", n), &rels, |b, rels| {
             b.iter(|| {
@@ -39,7 +44,12 @@ fn bench(c: &mut Criterion) {
             wcoj_datagen::random_relation(3, &[0, 2], rows, 64),
         ];
         g.bench_with_input(BenchmarkId::new("one_shot", rows), &rels, |b, rels| {
-            b.iter(|| join_with(rels, Algorithm::Nprr, None).unwrap().relation.len());
+            b.iter(|| {
+                join_with(rels, Algorithm::Nprr, None)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
         });
         let prepared = PreparedQuery::new(&rels).unwrap();
         let cover = prepared.query().optimal_cover().unwrap().x;

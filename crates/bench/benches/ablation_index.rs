@@ -17,10 +17,20 @@ fn bench(c: &mut Criterion) {
         let q = JoinQuery::new(&rels).unwrap();
         let sol = q.optimal_cover().unwrap();
         g.bench_with_input(BenchmarkId::new("sorted_trie", rows), &(), |b, ()| {
-            b.iter(|| join_nprr(&q, &sol.x, sol.log2_bound).unwrap().relation.len());
+            b.iter(|| {
+                join_nprr(&q, &sol.x, sol.log2_bound)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
         });
         g.bench_with_input(BenchmarkId::new("hash_trie", rows), &(), |b, ()| {
-            b.iter(|| join_nprr_hash(&q, &sol.x, sol.log2_bound).unwrap().relation.len());
+            b.iter(|| {
+                join_nprr_hash(&q, &sol.x, sol.log2_bound)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
         });
     }
     g.finish();

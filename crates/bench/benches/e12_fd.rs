@@ -20,11 +20,14 @@ fn bench(c: &mut Criterion) {
                 to: Attr(to),
             })
             .collect();
-        let wrong_order: Vec<usize> =
-            (k as usize..2 * k as usize).chain(0..k as usize).collect();
-        g.bench_with_input(BenchmarkId::new("fd_aware", k), &(rels.clone(), fds), |b, (rels, fds)| {
-            b.iter(|| join_with_fds(rels, fds).unwrap().relation.len());
-        });
+        let wrong_order: Vec<usize> = (k as usize..2 * k as usize).chain(0..k as usize).collect();
+        g.bench_with_input(
+            BenchmarkId::new("fd_aware", k),
+            &(rels.clone(), fds),
+            |b, (rels, fds)| {
+                b.iter(|| join_with_fds(rels, fds).unwrap().relation.len());
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("fd_blind_wrong_order", k),
             &(rels, wrong_order),

@@ -1,0 +1,38 @@
+//! Criterion bench for the partition-parallel executor: triangle-hard
+//! (Example 2.2) and 4-cycle instances at 1/2/4/8 worker threads, sharing
+//! one preparation per instance so only evaluation is timed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcoj_core::nprr::PreparedQuery;
+use wcoj_exec::{par_join_prepared, ExecConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_par_scaling");
+    g.sample_size(10);
+
+    let instances = [
+        ("triangle_hard", wcoj_datagen::example_2_2(2048)),
+        ("cycle4", wcoj_datagen::cycle_instance(13, 4, 3000, 250)),
+    ];
+    for (name, rels) in &instances {
+        let prepared = PreparedQuery::new(rels).expect("well-formed instance");
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = ExecConfig {
+                threads,
+                shard_min_size: 1,
+            };
+            g.bench_with_input(BenchmarkId::new(*name, threads), &cfg, |b, cfg| {
+                b.iter(|| {
+                    par_join_prepared(&prepared, None, cfg)
+                        .expect("join succeeds")
+                        .relation
+                        .len()
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,13 +11,23 @@ fn bench(c: &mut Criterion) {
     for n in [128u64, 512, 2048] {
         let rels = wcoj_datagen::example_2_2(n);
         g.bench_with_input(BenchmarkId::new("binary_plan", n), &rels, |b, rels| {
-            b.iter(|| execute_left_deep(rels, &[0, 1, 2]).unwrap().1.max_intermediate);
+            b.iter(|| {
+                execute_left_deep(rels, &[0, 1, 2])
+                    .unwrap()
+                    .1
+                    .max_intermediate
+            });
         });
         g.bench_with_input(BenchmarkId::new("lw", n), &rels, |b, rels| {
             b.iter(|| join_with(rels, Algorithm::Lw, None).unwrap().relation.len());
         });
         g.bench_with_input(BenchmarkId::new("nprr", n), &rels, |b, rels| {
-            b.iter(|| join_with(rels, Algorithm::Nprr, None).unwrap().relation.len());
+            b.iter(|| {
+                join_with(rels, Algorithm::Nprr, None)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
         });
     }
     g.finish();

@@ -13,7 +13,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| join_with(rels, Algorithm::Lw, None).unwrap().relation.len());
         });
         g.bench_with_input(BenchmarkId::new("nprr", k), &rels, |b, rels| {
-            b.iter(|| join_with(rels, Algorithm::Nprr, None).unwrap().relation.len());
+            b.iter(|| {
+                join_with(rels, Algorithm::Nprr, None)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
         });
     }
     g.finish();

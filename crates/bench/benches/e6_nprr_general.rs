@@ -12,7 +12,13 @@ fn bench(c: &mut Criterion) {
         ("lw4", &[&[1, 2, 3], &[0, 2, 3], &[0, 1, 3], &[0, 1, 2]]),
         (
             "figure2",
-            &[&[0, 1, 3, 4], &[0, 2, 3, 5], &[0, 1, 2], &[1, 3, 5], &[2, 4, 5]],
+            &[
+                &[0, 1, 3, 4],
+                &[0, 2, 3, 5],
+                &[0, 1, 2],
+                &[1, 3, 5],
+                &[2, 4, 5],
+            ],
         ),
     ];
     let mut g = c.benchmark_group("e6_nprr_general");
@@ -25,7 +31,12 @@ fn bench(c: &mut Criterion) {
             .collect();
         let order = optimize_left_deep(&rels);
         g.bench_with_input(BenchmarkId::new("nprr", name), &rels, |b, rels| {
-            b.iter(|| join_with(rels, Algorithm::Nprr, None).unwrap().relation.len());
+            b.iter(|| {
+                join_with(rels, Algorithm::Nprr, None)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
         });
         g.bench_with_input(
             BenchmarkId::new("binary_optimized", name),

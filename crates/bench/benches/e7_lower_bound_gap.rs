@@ -15,7 +15,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| execute_left_deep(rels, &[0, 1, 2]).unwrap().0.len());
         });
         g.bench_with_input(BenchmarkId::new("nprr", n), &rels, |b, rels| {
-            b.iter(|| join_with(rels, Algorithm::Nprr, None).unwrap().relation.len());
+            b.iter(|| {
+                join_with(rels, Algorithm::Nprr, None)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
         });
         g.bench_with_input(BenchmarkId::new("lw", n), &rels, |b, rels| {
             b.iter(|| join_with(rels, Algorithm::Lw, None).unwrap().relation.len());

@@ -37,7 +37,10 @@ fn main() {
     }
     for id in &ids {
         if !ALL_EXPERIMENTS.contains(&id.as_str()) {
-            eprintln!("unknown experiment {id}; known: {}", ALL_EXPERIMENTS.join(" "));
+            eprintln!(
+                "unknown experiment {id}; known: {}",
+                ALL_EXPERIMENTS.join(" ")
+            );
             std::process::exit(2);
         }
     }
@@ -52,8 +55,7 @@ fn main() {
             if let Some(dir) = &json_dir {
                 let path = format!("{dir}/{id}_{i}.json");
                 let mut f = std::fs::File::create(&path).expect("create json file");
-                f.write_all(serde_json::to_string_pretty(t).expect("serialise").as_bytes())
-                    .expect("write json");
+                f.write_all(t.to_json().as_bytes()).expect("write json");
             }
         }
     }

@@ -15,7 +15,11 @@ use wcoj_rational::Rational;
 use wcoj_storage::{Attr, Relation};
 
 fn sweep(quick: bool, full: &[u64], short: &[u64]) -> Vec<u64> {
-    if quick { short.to_vec() } else { full.to_vec() }
+    if quick {
+        short.to_vec()
+    } else {
+        full.to_vec()
+    }
 }
 
 /// E1 — Example 2.2 / §1: binary plans pay Θ(N²) on the hard triangle
@@ -36,22 +40,22 @@ pub fn e1_triangle_hard(quick: bool) -> Vec<Table> {
         ],
         "pairwise_join = N²/4 + N/2; binary_ms grows ~4× per doubling, lw/nprr ~2×",
     );
-    // Generate all instances up front (generation is untimed); crossbeam
-    // fans the independent points out across threads.
-    let instances: Vec<(u64, Vec<Relation>)> = crossbeam::thread::scope(|s| {
+    // Generate all instances up front (generation is untimed); scoped
+    // threads fan the independent points out across cores.
+    let instances: Vec<(u64, Vec<Relation>)> = std::thread::scope(|s| {
         let handles: Vec<_> = ns
             .iter()
-            .map(|&n| s.spawn(move |_| (n, gen::example_2_2(n))))
+            .map(|&n| s.spawn(move || (n, gen::example_2_2(n))))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("gen")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gen"))
+            .collect()
+    });
     for (n, rels) in instances {
         let ((_, bstats), t_bin) = time_secs(|| execute_left_deep(&rels, &[0, 1, 2]).unwrap());
-        let (lw_out, t_lw) =
-            time_secs(|| join_with(&rels, Algorithm::Lw, None).unwrap());
-        let (nprr_out, t_nprr) =
-            time_secs(|| join_with(&rels, Algorithm::Nprr, None).unwrap());
+        let (lw_out, t_lw) = time_secs(|| join_with(&rels, Algorithm::Lw, None).unwrap());
+        let (nprr_out, t_nprr) = time_secs(|| join_with(&rels, Algorithm::Nprr, None).unwrap());
         assert!(lw_out.relation.is_empty() && nprr_out.relation.is_empty());
         t.row(vec![
             n.to_string(),
@@ -74,7 +78,15 @@ pub fn e2_agm_tight(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "e2",
         "AGM tightness: grid triangle attains N^(3/2)",
-        &["k", "N=k^2", "output", "N^1.5", "agm_bound", "lw_ms", "nprr_ms"],
+        &[
+            "k",
+            "N=k^2",
+            "output",
+            "N^1.5",
+            "agm_bound",
+            "lw_ms",
+            "nprr_ms",
+        ],
         "output = N^1.5 = agm_bound exactly, for every k",
     );
     for k in ks {
@@ -117,11 +129,7 @@ pub fn e3_lw_scaling(quick: bool) -> Vec<Table> {
             let dom = (*n as f64).powf(1.0 / (n_attr as f64 - 1.0)).ceil() as u64 * 2;
             let rels = gen::random_lw(42 + i as u64, n_attr, *n as usize, dom.max(4));
             let sizes: Vec<usize> = rels.iter().map(Relation::len).collect();
-            let bound = sizes
-                .iter()
-                .map(|&s| (s as f64).ln())
-                .sum::<f64>()
-                / (n_attr as f64 - 1.0);
+            let bound = sizes.iter().map(|&s| (s as f64).ln()).sum::<f64>() / (n_attr as f64 - 1.0);
             let (out, t_lw) = time_secs(|| join_with(&rels, Algorithm::Lw, None).unwrap());
             let (nv, t_naive) = time_secs(|| naive::join(&rels));
             assert_eq!(out.relation.len(), nv.len());
@@ -202,22 +210,36 @@ pub fn e6_nprr_general(quick: bool) -> Vec<Table> {
         ("lw4", &[&[1, 2, 3], &[0, 2, 3], &[0, 1, 3], &[0, 1, 2]]),
         ("4cycle", &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]),
         ("mixed", &[&[0, 1, 2], &[2, 3], &[0, 3], &[1, 3]]),
-        ("figure2", &[&[0, 1, 3, 4], &[0, 2, 3, 5], &[0, 1, 2], &[1, 3, 5], &[2, 4, 5]]),
+        (
+            "figure2",
+            &[
+                &[0, 1, 3, 4],
+                &[0, 2, 3, 5],
+                &[0, 1, 2],
+                &[1, 3, 5],
+                &[2, 4, 5],
+            ],
+        ),
     ];
     let rows_per_rel = if quick { 100 } else { 800 };
     let mut t = Table::new(
         "e6",
         "Theorem 5.1: NPRR respects the AGM bound on general queries",
-        &["shape", "agm_log2", "out_log2", "nprr_ms", "binary_ms", "within_bound"],
+        &[
+            "shape",
+            "agm_log2",
+            "out_log2",
+            "nprr_ms",
+            "binary_ms",
+            "within_bound",
+        ],
         "out_log2 ≤ agm_log2 on every row; nprr competitive with the optimized binary plan",
     );
     for (si, (name, shape)) in shapes.iter().enumerate() {
         let rels: Vec<Relation> = shape
             .iter()
             .enumerate()
-            .map(|(i, attrs)| {
-                gen::random_relation((si * 10 + i) as u64, attrs, rows_per_rel, 12)
-            })
+            .map(|(i, attrs)| gen::random_relation((si * 10 + i) as u64, attrs, rows_per_rel, 12))
             .collect();
         let (out, t_nprr) = time_secs(|| join_with(&rels, Algorithm::Nprr, None).unwrap());
         let order = optimize_left_deep(&rels);
@@ -295,7 +317,13 @@ pub fn e8_embedded_gap(quick: bool) -> Vec<Table> {
         let mut t = Table::new(
             "e8",
             &format!("Lemma 6.3 embedded gap, |U|={k}"),
-            &["N", "oracle_max_intermediate", "nprr_intermediate", "binary_ms", "nprr_ms"],
+            &[
+                "N",
+                "oracle_max_intermediate",
+                "nprr_intermediate",
+                "binary_ms",
+                "nprr_ms",
+            ],
             "oracle binary stays quadratic in N; NPRR near-linear",
         );
         for n in ns {
@@ -321,7 +349,15 @@ pub fn e9_cycles(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "e9",
         "Lemma 7.1: cycle queries (even via alternation, odd via bundled LW3)",
-        &["m", "N", "sqrt_prod", "output", "cycle_ms", "naive_ms", "matches"],
+        &[
+            "m",
+            "N",
+            "sqrt_prod",
+            "output",
+            "cycle_ms",
+            "naive_ms",
+            "matches",
+        ],
         "cycle_ms tracks √(∏N) (= N^{m/2} worst case), beating naive's intermediates",
     );
     // Cycle joins legitimately cost Θ(√∏N) = Θ(N^{m/2}); pick N per m so
@@ -341,8 +377,7 @@ pub fn e9_cycles(quick: bool) -> Vec<Table> {
         let dom = (n as f64).sqrt().ceil() as u64 * 2;
         let rels = gen::cycle_instance(m as u64, m, n, dom);
         let sizes: Vec<usize> = rels.iter().map(Relation::len).collect();
-        let sqrt_prod: f64 =
-            (sizes.iter().map(|&s| (s as f64).ln()).sum::<f64>() / 2.0).exp();
+        let sqrt_prod: f64 = (sizes.iter().map(|&s| (s as f64).ln()).sum::<f64>() / 2.0).exp();
         let (out, t_cyc) = time_secs(|| join_with(&rels, Algorithm::GraphJoin, None).unwrap());
         let (nv, t_naive) = time_secs(|| naive::join(&rels));
         t.row(vec![
@@ -365,26 +400,19 @@ pub fn e10_graph_queries(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "e10",
         "Theorem 7.3: arity-≤2 queries via stars + odd cycles",
-        &["seed", "edges", "stars", "cycles", "zeros", "output", "graph_ms", "naive_ms"],
+        &[
+            "seed", "edges", "stars", "cycles", "zeros", "output", "graph_ms", "naive_ms",
+        ],
         "every optimal BFS cover decomposes (Lemma 7.2); outputs match the oracle",
     );
     let rows_per_rel = if quick { 60 } else { 500 };
     for seed in 0..6u64 {
         // a triangle + a path + a pendant star, randomly populated
-        let shapes: &[&[u32]] = &[
-            &[0, 1],
-            &[1, 2],
-            &[0, 2],
-            &[2, 3],
-            &[3, 4],
-            &[0, 5],
-        ];
+        let shapes: &[&[u32]] = &[&[0, 1], &[1, 2], &[0, 2], &[2, 3], &[3, 4], &[0, 5]];
         let rels: Vec<Relation> = shapes
             .iter()
             .enumerate()
-            .map(|(i, attrs)| {
-                gen::random_relation(seed * 100 + i as u64, attrs, rows_per_rel, 10)
-            })
+            .map(|(i, attrs)| gen::random_relation(seed * 100 + i as u64, attrs, rows_per_rel, 10))
             .collect();
         let q = JoinQuery::new(&rels).unwrap();
         let cover = q.optimal_cover().unwrap();
@@ -461,7 +489,14 @@ pub fn e12_fd(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "e12",
         "§7.3 functional dependencies: FD-aware bound N² vs FD-blind worst order",
-        &["k", "N", "blind_log2_bound", "fd_log2_bound", "fd_ms", "blind_worstorder_ms"],
+        &[
+            "k",
+            "N",
+            "blind_log2_bound",
+            "fd_log2_bound",
+            "fd_ms",
+            "blind_worstorder_ms",
+        ],
         "fd bound ≈ 2·log N regardless of k; blind bound grows with k",
     );
     let n = if quick { 32usize } else { 256 };
@@ -481,11 +516,8 @@ pub fn e12_fd(quick: bool) -> Vec<Table> {
         let (fd_out, t_fd) = time_secs(|| fd::join_with_fds(&rels, &fds).unwrap());
         // the "wrong join ordering" the paper warns about: join all Sᵢ
         // first (their join can blow up to N^k), then the Rᵢ.
-        let wrong_order: Vec<usize> = (k as usize..2 * k as usize)
-            .chain(0..k as usize)
-            .collect();
-        let ((bout, _), t_blind) =
-            time_secs(|| execute_left_deep(&rels, &wrong_order).unwrap());
+        let wrong_order: Vec<usize> = (k as usize..2 * k as usize).chain(0..k as usize).collect();
+        let ((bout, _), t_blind) = time_secs(|| execute_left_deep(&rels, &wrong_order).unwrap());
         assert_eq!(fd_out.relation.len(), bout.len());
         t.row(vec![
             k.to_string(),
@@ -512,8 +544,12 @@ pub fn e13_bt(quick: bool) -> Vec<Table> {
     let count = if quick { 30 } else { 200 };
     let dim_list: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5] };
     for &dims in dim_list {
-        let s = gen::random_relation_exact(dims as u64,
-            &(0..dims as u32).collect::<Vec<_>>(), count, 8);
+        let s = gen::random_relation_exact(
+            dims as u64,
+            &(0..dims as u32).collect::<Vec<_>>(),
+            count,
+            8,
+        );
         let projs: Vec<Relation> = (0..dims)
             .map(|omit| {
                 let keep: Vec<Attr> = (0..dims as u32)
@@ -610,8 +646,7 @@ pub fn e15_tighten() -> Vec<Table> {
     let shapes: Vec<(&str, wcoj_hypergraph::Hypergraph, Vec<Rational>)> = vec![
         (
             "triangle/all-ones",
-            wcoj_hypergraph::Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]])
-                .unwrap(),
+            wcoj_hypergraph::Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap(),
             vec![Rational::ONE; 3],
         ),
         (
@@ -643,6 +678,59 @@ pub fn e15_tighten() -> Vec<Table> {
             ok.to_string(),
         ]);
         assert!(tight && ok);
+    }
+    vec![t]
+}
+
+/// E16 — partition-parallel scaling (`wcoj-exec`): triangle-hard and
+/// 4-cycle instances at 1/2/4/8 worker threads, reporting wall-clock
+/// speedup over the single-thread run. Mirrors the
+/// `e13_par_scaling` criterion bench inside the harness so speedups are
+/// recorded alongside the paper experiments. (On a single-core host the
+/// speedup column is expectedly ≈1.)
+#[must_use]
+pub fn e16_par_scaling(quick: bool) -> Vec<Table> {
+    use wcoj_core::nprr::PreparedQuery;
+    use wcoj_exec::{par_join_prepared, ExecConfig};
+    let mut t = Table::new(
+        "e16",
+        "wcoj-exec partition-parallel scaling: par_join vs 1-thread run",
+        &["instance", "threads", "shards", "output", "ms", "speedup"],
+        "output identical across thread counts; speedup grows toward the core count",
+    );
+    let (tri_n, cyc_n, cyc_dom) = if quick {
+        (256, 400, 60)
+    } else {
+        (2048, 3000, 250)
+    };
+    let instances = [
+        ("triangle_hard", gen::example_2_2(tri_n)),
+        ("cycle4", gen::cycle_instance(13, 4, cyc_n, cyc_dom)),
+    ];
+    for (name, rels) in &instances {
+        let prepared = PreparedQuery::new(rels).expect("well-formed instance");
+        let mut base_secs = None;
+        let mut base_len = None;
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = ExecConfig {
+                threads,
+                shard_min_size: 1,
+            };
+            let (out, secs) = time_secs(|| par_join_prepared(&prepared, None, &cfg).expect("join"));
+            let base = *base_secs.get_or_insert(secs);
+            match base_len {
+                None => base_len = Some(out.relation.len()),
+                Some(expect) => assert_eq!(out.relation.len(), expect, "{name}"),
+            }
+            t.row(vec![
+                (*name).to_owned(),
+                threads.to_string(),
+                out.stats.shards.to_string(),
+                out.relation.len().to_string(),
+                ms(secs),
+                format!("{:.2}", base / secs.max(1e-12)),
+            ]);
+        }
     }
     vec![t]
 }
@@ -734,5 +822,11 @@ mod tests {
     #[test]
     fn e15_smoke() {
         let _ = e15_tighten();
+    }
+    #[test]
+    fn e16_smoke() {
+        let t = e16_par_scaling(true);
+        // 2 instances × 4 thread counts; outputs agree by construction
+        assert_eq!(t[0].rows.len(), 8);
     }
 }

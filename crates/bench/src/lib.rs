@@ -13,10 +13,11 @@ pub mod table;
 
 pub use table::{time_secs, Table};
 
-/// All experiment ids, in order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+/// All experiment ids, in order. E1–E15 regenerate the paper's claims;
+/// E16 records the partition-parallel engine's scaling.
+pub const ALL_EXPERIMENTS: [&str; 16] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Runs one experiment by id. `quick` shrinks the sweeps for CI-speed runs.
@@ -41,6 +42,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e13" => experiments::e13_bt(quick),
         "e14" => experiments::e14_full_cq(),
         "e15" => experiments::e15_tighten(),
+        "e16" => experiments::e16_par_scaling(quick),
         other => panic!("unknown experiment id {other}"),
     }
 }

@@ -1,10 +1,9 @@
 //! Result tables: printable, serialisable, diffable.
 
-use serde::Serialize;
 use std::time::Instant;
 
 /// One experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id (`e1` …).
     pub experiment: String,
@@ -66,6 +65,49 @@ impl Table {
         }
         out.push_str(&format!("expected: {}\n", self.expected));
         out
+    }
+
+    /// Renders as pretty-printed JSON (hand-rolled: the build environment
+    /// is offline, so no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn str_array(items: &[String]) -> String {
+            let inner: Vec<String> = items.iter().map(|s| esc(s)).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| esc(c)).collect();
+                format!("    [{}]", cells.join(", "))
+            })
+            .collect();
+        format!(
+            "{{\n  \"experiment\": {},\n  \"title\": {},\n  \"columns\": {},\n  \"rows\": [\n{}\n  ],\n  \"expected\": {}\n}}\n",
+            esc(&self.experiment),
+            esc(&self.title),
+            str_array(&self.columns),
+            rows.join(",\n"),
+            esc(&self.expected)
+        )
     }
 }
 

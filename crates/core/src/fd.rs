@@ -173,7 +173,7 @@ mod tests {
             from: Attr(0),
             to: Attr(1),
         };
-        assert!(fd_maps(&[r.clone()], &[ok]).is_ok());
+        assert!(fd_maps(std::slice::from_ref(&r), &[ok]).is_ok());
 
         let bad_data = rel(&[0, 1], &[&[1, 10], &[1, 20]]);
         assert!(matches!(
@@ -181,7 +181,7 @@ mod tests {
             Err(FdError::Violated { .. })
         ));
         assert!(matches!(
-            fd_maps(&[r.clone()], &[Fd { edge: 5, ..ok }]),
+            fd_maps(std::slice::from_ref(&r), &[Fd { edge: 5, ..ok }]),
             Err(FdError::BadEdge(5))
         ));
         assert!(matches!(

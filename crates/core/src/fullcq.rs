@@ -60,8 +60,8 @@ impl Subgoal {
                 }
             }
         }
-        let schema = Schema::new(vars.iter().map(|&v| Attr(v)).collect())
-            .expect("vars deduplicated");
+        let schema =
+            Schema::new(vars.iter().map(|&v| Attr(v)).collect()).expect("vars deduplicated");
         let mut out = Relation::empty(schema);
         let mut buf = vec![Value(0); vars.len()];
         'rows: for row in self.relation.iter_rows() {
@@ -93,19 +93,28 @@ impl Subgoal {
     }
 }
 
+/// The §7.3 reduction of a whole query: one reduced relation per subgoal,
+/// ready for any natural-join engine (the sequential [`crate::join`] or
+/// `wcoj-exec`'s partition-parallel `par_join`).
+///
+/// # Errors
+/// [`QueryError::EmptyQuery`] when no subgoals are given.
+pub fn reduce_all(subgoals: &[Subgoal]) -> Result<Vec<Relation>, QueryError> {
+    if subgoals.is_empty() {
+        return Err(QueryError::EmptyQuery);
+    }
+    Ok(subgoals.iter().map(Subgoal::reduce).collect())
+}
+
 /// Evaluates a full conjunctive query: reduce every subgoal, then join.
 /// The output schema has one attribute per variable (`Attr(v)`), sorted.
 ///
 /// # Errors
 /// Propagates join-evaluation errors.
 pub fn evaluate(subgoals: &[Subgoal]) -> Result<Relation, QueryError> {
-    if subgoals.is_empty() {
-        return Err(QueryError::EmptyQuery);
-    }
-    let reduced: Vec<Relation> = subgoals.iter().map(Subgoal::reduce).collect();
     // A subgoal with only constants reduces to a nullary relation: true if
     // some row matched, false otherwise. `join` handles both.
-    crate::join(&reduced)
+    crate::join(&reduce_all(subgoals)?)
 }
 
 #[cfg(test)]
@@ -160,9 +169,7 @@ mod tests {
         // q(x,y,z) :- E(x,y), E(y,z), E(x,z) — triangle listing via the
         // general machinery, with all three subgoals on the same relation.
         let e = rel(&[0, 1], &[&[1, 2], &[2, 3], &[1, 3], &[3, 4]]);
-        let g = |a: u32, b: u32| {
-            Subgoal::new(e.clone(), vec![Term::Var(a), Term::Var(b)]).unwrap()
-        };
+        let g = |a: u32, b: u32| Subgoal::new(e.clone(), vec![Term::Var(a), Term::Var(b)]).unwrap();
         let out = evaluate(&[g(0, 1), g(1, 2), g(0, 2)]).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.contains_row(&[Value(1), Value(2), Value(3)]));
@@ -171,10 +178,16 @@ mod tests {
     #[test]
     fn all_constant_subgoal_is_boolean() {
         let r = rel(&[0, 1], &[&[1, 5]]);
-        let hit =
-            Subgoal::new(r.clone(), vec![Term::Const(Value(1)), Term::Const(Value(5))]).unwrap();
-        let miss =
-            Subgoal::new(r.clone(), vec![Term::Const(Value(9)), Term::Const(Value(9))]).unwrap();
+        let hit = Subgoal::new(
+            r.clone(),
+            vec![Term::Const(Value(1)), Term::Const(Value(5))],
+        )
+        .unwrap();
+        let miss = Subgoal::new(
+            r.clone(),
+            vec![Term::Const(Value(9)), Term::Const(Value(9))],
+        )
+        .unwrap();
         let open = Subgoal::new(r, vec![Term::Var(0), Term::Var(1)]).unwrap();
         // true-subgoal leaves the query unchanged
         let with_true = evaluate(&[open.clone(), hit]).unwrap();
@@ -187,12 +200,11 @@ mod tests {
     #[test]
     fn mixed_constants_and_repeats() {
         // R(x, x, 7): both behaviours at once.
-        let r = rel(&[0, 1, 2], &[&[1, 1, 7], &[2, 2, 8], &[3, 4, 7], &[5, 5, 7]]);
-        let g = Subgoal::new(
-            r,
-            vec![Term::Var(0), Term::Var(0), Term::Const(Value(7))],
-        )
-        .unwrap();
+        let r = rel(
+            &[0, 1, 2],
+            &[&[1, 1, 7], &[2, 2, 8], &[3, 4, 7], &[5, 5, 7]],
+        );
+        let g = Subgoal::new(r, vec![Term::Var(0), Term::Var(0), Term::Const(Value(7))]).unwrap();
         let red = g.reduce();
         assert_eq!(red.len(), 2); // x ∈ {1, 5}
     }

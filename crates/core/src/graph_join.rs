@@ -178,9 +178,7 @@ fn odd_cycle_join(
     // Rotation r: edge sequence cyc.edges[r], cyc.edges[r+1], …
     // Odd class (paper's e1, e3, …, e_{2k'−1}) = positions 0, 2, …, 2k'−2.
     let log_n = |e: usize| (q.relations()[e].len().max(1) as f64).ln();
-    let class_cost = |r: usize| -> f64 {
-        (0..kp).map(|j| log_n(cyc.edges[(r + 2 * j) % l])).sum()
-    };
+    let class_cost = |r: usize| -> f64 { (0..kp).map(|j| log_n(cyc.edges[(r + 2 * j) % l])).sum() };
     let best_r = (0..l)
         .min_by(|&a, &b| {
             class_cost(a)
@@ -207,9 +205,7 @@ fn odd_cycle_join(
     stats.intermediate_tuples += x.len() as u64;
 
     // S = {v2, …, v_{2k'−1}}; W = π_S(X) filtered by the even interior.
-    let s_attrs: Vec<Attr> = (1..2 * kp - 1)
-        .map(|i| q.attr_of_vertex(vat(i)))
-        .collect();
+    let s_attrs: Vec<Attr> = (1..2 * kp - 1).map(|i| q.attr_of_vertex(vat(i))).collect();
     let xs = wcoj_storage::ops::project(&x, &s_attrs)?;
     let mut w = xs;
     for &e in &even_interior {
@@ -380,13 +376,7 @@ mod tests {
         assert_eq!(out.relation, expect);
     }
 
-    fn random_binary(
-        rng: &mut rand::rngs::StdRng,
-        a: u32,
-        b: u32,
-        n: usize,
-        dom: u64,
-    ) -> Relation {
+    fn random_binary(rng: &mut rand::rngs::StdRng, a: u32, b: u32, n: usize, dom: u64) -> Relation {
         let rows: Vec<Vec<Value>> = (0..n)
             .map(|_| vec![Value(rng.gen_range(0..dom)), Value(rng.gen_range(0..dom))])
             .collect();

@@ -22,10 +22,10 @@
 
 use crate::query::{JoinQuery, QueryError};
 use crate::{JoinOutput, JoinStats};
+use wcoj_hypergraph::lw::lw_omitted_vertices;
 use wcoj_storage::hash::{map_with_capacity, FxHashMap};
 use wcoj_storage::ops::{natural_join, reorder, union};
 use wcoj_storage::{Attr, Relation, Schema, Value};
-use wcoj_hypergraph::lw::lw_omitted_vertices;
 
 /// Evaluates an LW-instance query with Algorithm 1.
 ///
@@ -146,10 +146,7 @@ fn split_heavy_light(
 
     if dr.is_empty() || dl.is_empty() {
         // F = G = ∅ (paper's comment on line 5).
-        return Ok((
-            Relation::empty(out_schema),
-            Relation::empty(label_schema),
-        ));
+        return Ok((Relation::empty(out_schema), Relation::empty(label_schema)));
     }
 
     // Group rows by label key.
@@ -175,14 +172,8 @@ fn split_heavy_light(
 
     // Output plan: D_L's columns then D_R's new ones.
     let out_attrs = out_schema.attrs().to_vec();
-    let l_from: Vec<Option<usize>> = out_attrs
-        .iter()
-        .map(|&a| dl.schema().position(a))
-        .collect();
-    let r_from: Vec<Option<usize>> = out_attrs
-        .iter()
-        .map(|&a| dr.schema().position(a))
-        .collect();
+    let l_from: Vec<Option<usize>> = out_attrs.iter().map(|&a| dl.schema().position(a)).collect();
+    let r_from: Vec<Option<usize>> = out_attrs.iter().map(|&a| dr.schema().position(a)).collect();
 
     let mut joined = Relation::empty(out_schema);
     let mut heavy = Relation::empty(label_schema);

@@ -92,6 +92,7 @@ pub fn join_nprr_indexed<S: SearchTree>(
         edge_vertices: &edge_vertices,
         pos: &pos,
         bindings: vec![None; h.num_vertices()],
+        shard: None,
         stats: JoinStats {
             algorithm_used: "nprr",
             log2_agm_bound: log2_bound,
@@ -122,6 +123,61 @@ pub(crate) fn assemble_output(
     Ok(JoinOutput { relation, stats })
 }
 
+/// Inclusive value range restricting the attribute at total-order
+/// position 0 — the handle the partition-parallel executor uses to carve
+/// `Recursive-Join` into independent sub-joins. §5.2 (step 2a) is the
+/// correctness argument: the trie subtree under each level-0 branch *is*
+/// the search tree of that section, so runs restricted to disjoint root
+/// ranges touch disjoint sets of output rows and need no coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootShard {
+    /// Smallest admitted value for the first attribute in the total order.
+    pub lo: Value,
+    /// Largest admitted value (inclusive).
+    pub hi: Value,
+}
+
+impl RootShard {
+    /// Does `v` fall inside this shard?
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, v: Value) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// (ST3) restricted to a shard: visits each length-`extra` extension of
+/// `node` whose *first* value lies in `shard`, pruning the descent at
+/// level 0 so out-of-range subtrees are never walked (a per-tuple filter
+/// would make every shard pay for the whole enumeration).
+fn for_each_extension_in_shard<S: SearchTree>(
+    trie: &S,
+    node: S::Node,
+    extra: usize,
+    shard: RootShard,
+    mut f: impl FnMut(&[Value]),
+) {
+    debug_assert!(extra >= 1);
+    let children = trie.child_values(node);
+    let lo = children.partition_point(|&v| v < shard.lo);
+    let hi = children.partition_point(|&v| v <= shard.hi);
+    let mut buf: Vec<Value> = Vec::with_capacity(extra);
+    for &v in &children[lo..hi] {
+        let child = trie.descend(node, v).expect("listed child exists");
+        buf.clear();
+        buf.push(v);
+        if extra == 1 {
+            f(&buf);
+        } else {
+            trie.for_each_extension(child, extra - 1, |rest| {
+                buf.truncate(1);
+                buf.extend_from_slice(rest);
+                f(&buf);
+            });
+        }
+    }
+}
+
 pub(crate) struct Engine<'a, S: SearchTree> {
     pub(crate) q: &'a JoinQuery,
     pub(crate) tries: &'a [S],
@@ -133,6 +189,9 @@ pub(crate) struct Engine<'a, S: SearchTree> {
     /// Current partial assignment `t_S` (plus scratch `t_W`, `t_{W⁻}`),
     /// indexed by vertex.
     pub(crate) bindings: Vec<Option<Value>>,
+    /// When set, only tuples whose total-order-position-0 value lies in
+    /// this range are enumerated (partition-parallel execution).
+    pub(crate) shard: Option<RootShard>,
     pub(crate) stats: JoinStats,
 }
 
@@ -290,27 +349,41 @@ impl<S: SearchTree> Engine<'_, S> {
                 // lines 27–29: scan the anchor's section, probe the others.
                 if let Some(anchor_node) = anchor {
                     let trie_ek = &self.tries[ek];
+                    // Partition-parallel runs: when this scan binds the
+                    // first attribute of the total order, descend only the
+                    // shard's root range.
+                    let filter = if wm_start == 0 { self.shard } else { None };
                     let mut wm_rows: Vec<Vec<Value>> = Vec::new();
-                    trie_ek.for_each_extension(anchor_node, wminus.len(), |t| {
-                        wm_rows.push(t.to_vec());
-                    });
+                    match filter {
+                        Some(shard) => for_each_extension_in_shard(
+                            trie_ek,
+                            anchor_node,
+                            wminus.len(),
+                            shard,
+                            |t| wm_rows.push(t.to_vec()),
+                        ),
+                        None => trie_ek.for_each_extension(anchor_node, wminus.len(), |t| {
+                            wm_rows.push(t.to_vec());
+                        }),
+                    }
                     for t_wm in wm_rows {
                         // bind t_{W⁻}
                         for (&v, &val) in wminus.iter().zip(&t_wm) {
                             self.bindings[v] = Some(val);
                         }
-                        let ok = check_edges.iter().all(|(i, part)| {
-                            match self.section(*i, wm_start) {
-                                None => false,
-                                Some(node) => {
-                                    let vals: Vec<Value> = part
-                                        .iter()
-                                        .map(|&v| self.bindings[v].expect("W⁻ bound"))
-                                        .collect();
-                                    self.tries[*i].descend_tuple(node, &vals).is_some()
-                                }
-                            }
-                        });
+                        let ok =
+                            check_edges
+                                .iter()
+                                .all(|(i, part)| match self.section(*i, wm_start) {
+                                    None => false,
+                                    Some(node) => {
+                                        let vals: Vec<Value> = part
+                                            .iter()
+                                            .map(|&v| self.bindings[v].expect("W⁻ bound"))
+                                            .collect();
+                                        self.tries[*i].descend_tuple(node, &vals).is_some()
+                                    }
+                                });
                         for &v in &wminus {
                             self.bindings[v] = None;
                         }
@@ -383,8 +456,18 @@ impl<S: SearchTree> Engine<'_, S> {
 
         let mut out = Vec::new();
         let trie_j = &self.tries[j];
+        // Partition-parallel runs: when this leaf binds the first attribute
+        // of the total order, descend only the shard's root range.
+        let filter = if u_start == 0 { self.shard } else { None };
         let mut candidates: Vec<Vec<Value>> = Vec::new();
-        trie_j.for_each_extension(j_node, univ.len(), |t| candidates.push(t.to_vec()));
+        match filter {
+            Some(shard) => {
+                for_each_extension_in_shard(trie_j, j_node, univ.len(), shard, |t| {
+                    candidates.push(t.to_vec());
+                });
+            }
+            None => trie_j.for_each_extension(j_node, univ.len(), |t| candidates.push(t.to_vec())),
+        }
         self.stats.intermediate_tuples += candidates.len() as u64;
         for cand in candidates {
             let ok = others

@@ -5,34 +5,61 @@
 //! evaluation. Remark 5.2 observes that paying the indexing once removes
 //! the `O(n² Σ N_e)` term from subsequent evaluations. [`PreparedQuery`]
 //! packages exactly that: build once, evaluate many times (e.g. with
-//! different covers, or for every `C*(q, r)` class of a relaxed join).
+//! different covers, for every `C*(q, r)` class of a relaxed join, or —
+//! the partition-parallel executor's use — once per root shard on a
+//! worker pool, sharing the indexes across threads).
+//!
+//! The preparation is generic over the [`SearchTree`] realisation
+//! (sorted counted trie by default, hash tries via
+//! [`PreparedQuery::<HashTrieIndex>::new_indexed`]).
 
 use super::qptree::{build_qp_tree, QpNode};
 use super::total_order::{positions, total_order};
-use super::{assemble_output, Engine};
+use super::{assemble_output, Engine, RootShard};
 use crate::query::{JoinQuery, QueryError};
 use crate::{JoinOutput, JoinStats};
 use wcoj_hypergraph::cover::validate_cover;
-use wcoj_storage::{Attr, Relation, TrieIndex};
+use wcoj_storage::{Attr, Relation, SearchTree, TrieIndex, Value};
 
 /// A query prepared for repeated NPRR evaluation: the plan tree, the total
 /// order, and all search trees, built once.
-pub struct PreparedQuery {
+pub struct PreparedQuery<S: SearchTree = TrieIndex> {
     q: JoinQuery,
     root: Option<Box<QpNode>>,
     order: Vec<usize>,
     pos: Vec<usize>,
-    tries: Vec<TrieIndex>,
+    tries: Vec<S>,
     edge_vertices: Vec<Vec<usize>>,
 }
 
-impl PreparedQuery {
-    /// Builds the plan and indexes for `relations`.
+impl PreparedQuery<TrieIndex> {
+    /// Builds the plan and sorted-trie indexes for `relations`.
     ///
     /// # Errors
     /// [`QueryError`] on malformed input.
     pub fn new(relations: &[Relation]) -> Result<PreparedQuery, QueryError> {
-        let q = JoinQuery::new(relations)?;
+        PreparedQuery::new_indexed(relations)
+    }
+}
+
+impl<S: SearchTree> PreparedQuery<S> {
+    /// Builds the plan and indexes for `relations` with an explicit
+    /// [`SearchTree`] backend.
+    ///
+    /// # Errors
+    /// [`QueryError`] on malformed input.
+    pub fn new_indexed(relations: &[Relation]) -> Result<PreparedQuery<S>, QueryError> {
+        Self::from_query(JoinQuery::new(relations)?)
+    }
+
+    /// Builds the plan and indexes for an already-assembled query,
+    /// reusing its hypergraph and attribute numbering instead of
+    /// re-deriving them.
+    ///
+    /// # Errors
+    /// Storage errors from index construction (none expected for a
+    /// well-formed [`JoinQuery`]).
+    pub fn from_query(q: JoinQuery) -> Result<PreparedQuery<S>, QueryError> {
         let h = q.hypergraph();
         let root = build_qp_tree(h);
         let (order, pos) = match &root {
@@ -43,13 +70,13 @@ impl PreparedQuery {
             }
             None => (Vec::new(), Vec::new()),
         };
-        let mut tries = Vec::with_capacity(relations.len());
-        let mut edge_vertices = Vec::with_capacity(relations.len());
+        let mut tries = Vec::with_capacity(q.relations().len());
+        let mut edge_vertices = Vec::with_capacity(q.relations().len());
         for (i, rel) in q.relations().iter().enumerate() {
             let mut vs: Vec<usize> = h.edge(i).to_vec();
             vs.sort_by_key(|&v| pos.get(v).copied().unwrap_or(0));
             let attr_order: Vec<Attr> = vs.iter().map(|&v| q.attr_of_vertex(v)).collect();
-            tries.push(TrieIndex::build(rel, &attr_order)?);
+            tries.push(S::build(rel, &attr_order)?);
             edge_vertices.push(vs);
         }
         Ok(PreparedQuery {
@@ -74,6 +101,136 @@ impl PreparedQuery {
         &self.order
     }
 
+    /// Resolves an optional user cover into `(x, log2_bound)`: validates a
+    /// supplied vector, or solves the LP for the optimum.
+    ///
+    /// # Errors
+    /// [`QueryError::BadCover`] for invalid covers; LP errors otherwise.
+    pub fn resolve_cover(&self, cover: Option<&[f64]>) -> Result<(Vec<f64>, f64), QueryError> {
+        match cover {
+            Some(x) => {
+                validate_cover(self.q.hypergraph(), x)
+                    .map_err(|e| QueryError::BadCover(e.to_string()))?;
+                Ok((
+                    x.to_vec(),
+                    wcoj_hypergraph::agm::log2_bound(&self.q.sizes(), x),
+                ))
+            }
+            None => {
+                let sol = self.q.optimal_cover()?;
+                let b = sol.log2_bound;
+                Ok((sol.x, b))
+            }
+        }
+    }
+
+    /// The candidate values of the **root attribute** (total-order position
+    /// 0): the sorted intersection of level 0 of every index whose relation
+    /// contains that attribute. Every output tuple's root value lies in
+    /// this list, so any partition of it induces a partition of the output
+    /// — the shard-planning input of the parallel executor.
+    ///
+    /// Empty when the query has no attributes.
+    #[must_use]
+    pub fn root_candidates(&self) -> Vec<Value> {
+        let Some(&root_vertex) = self.order.first() else {
+            return Vec::new();
+        };
+        let mut acc: Option<Vec<Value>> = None;
+        for (e, vs) in self.edge_vertices.iter().enumerate() {
+            if vs.first() != Some(&root_vertex) {
+                continue; // relation does not contain the root attribute
+            }
+            let level0 = self.tries[e].child_values(self.tries[e].root());
+            acc = Some(match acc {
+                None => level0,
+                Some(prev) => {
+                    // merge-intersect two sorted lists
+                    let mut out = Vec::with_capacity(prev.len().min(level0.len()));
+                    let (mut i, mut j) = (0, 0);
+                    while i < prev.len() && j < level0.len() {
+                        match prev[i].cmp(&level0[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                out.push(prev[i]);
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                    out
+                }
+            });
+        }
+        acc.unwrap_or_default()
+    }
+
+    /// Runs `Recursive-Join` restricted to `shard` (or unrestricted for
+    /// `None`), returning raw rows over the total order plus the run's
+    /// statistics. Does **not** short-circuit empty inputs or resolve
+    /// covers — callers ([`Self::evaluate`], the parallel executor) do
+    /// that once up front.
+    ///
+    /// Requires a valid cover `x`; shards of one parallel run must all use
+    /// the *same* cover so per-tuple size checks are consistent.
+    #[must_use]
+    pub fn run_shard(
+        &self,
+        x: &[f64],
+        log2_bound: f64,
+        shard: Option<RootShard>,
+    ) -> (Vec<Vec<Value>>, JoinStats) {
+        let stats = JoinStats {
+            algorithm_used: "nprr-prepared",
+            log2_agm_bound: log2_bound,
+            cover: x.to_vec(),
+            ..JoinStats::default()
+        };
+        let Some(root) = &self.root else {
+            // Nullary query: a single empty row (the join of non-empty
+            // nullary relations), owned by the unrestricted/first shard.
+            let rows = if shard.is_none_or(|s| s.contains(Value(0))) {
+                vec![vec![]]
+            } else {
+                Vec::new()
+            };
+            return (rows, stats);
+        };
+        let mut engine = Engine {
+            q: &self.q,
+            tries: &self.tries,
+            edge_vertices: &self.edge_vertices,
+            pos: &self.pos,
+            bindings: vec![None; self.q.hypergraph().num_vertices()],
+            shard,
+            stats,
+        };
+        let rows = engine.recursive_join(root, x);
+        (rows, engine.stats)
+    }
+
+    /// Converts raw total-order rows (e.g. concatenated shard outputs)
+    /// into a [`JoinOutput`] in the canonical attribute layout.
+    ///
+    /// # Errors
+    /// Propagates storage errors (none expected for well-formed rows).
+    pub fn assemble(
+        &self,
+        rows: Vec<Vec<Value>>,
+        stats: JoinStats,
+    ) -> Result<JoinOutput, QueryError> {
+        if self.root.is_none() {
+            let relation = if rows.is_empty() {
+                Relation::empty(self.q.output_schema())
+            } else {
+                Relation::nullary_true()
+            };
+            return Ok(JoinOutput { relation, stats });
+        }
+        assemble_output(&self.q, &self.order, rows, stats)
+    }
+
     /// Evaluates with the given fractional cover, or the LP optimum when
     /// `None`. Only the `O(mn·∏N^x)` evaluation cost is paid here.
     ///
@@ -90,47 +247,9 @@ impl PreparedQuery {
                 },
             });
         }
-        let (x, log2_bound) = match cover {
-            Some(x) => {
-                validate_cover(self.q.hypergraph(), x)
-                    .map_err(|e| QueryError::BadCover(e.to_string()))?;
-                (
-                    x.to_vec(),
-                    wcoj_hypergraph::agm::log2_bound(&self.q.sizes(), x),
-                )
-            }
-            None => {
-                let sol = self.q.optimal_cover()?;
-                let b = sol.log2_bound;
-                (sol.x, b)
-            }
-        };
-        let Some(root) = &self.root else {
-            return Ok(JoinOutput {
-                relation: Relation::nullary_true(),
-                stats: JoinStats {
-                    algorithm_used: "nprr-prepared",
-                    log2_agm_bound: log2_bound,
-                    cover: x,
-                    ..JoinStats::default()
-                },
-            });
-        };
-        let mut engine = Engine {
-            q: &self.q,
-            tries: &self.tries,
-            edge_vertices: &self.edge_vertices,
-            pos: &self.pos,
-            bindings: vec![None; self.q.hypergraph().num_vertices()],
-            stats: JoinStats {
-                algorithm_used: "nprr-prepared",
-                log2_agm_bound: log2_bound,
-                cover: x.clone(),
-                ..JoinStats::default()
-            },
-        };
-        let rows = engine.recursive_join(root, &x);
-        assemble_output(&self.q, &self.order, rows, engine.stats)
+        let (x, log2_bound) = self.resolve_cover(cover)?;
+        let (rows, stats) = self.run_shard(&x, log2_bound, None);
+        self.assemble(rows, stats)
     }
 }
 
@@ -139,7 +258,7 @@ mod tests {
     use super::*;
     use crate::{join_with, naive, Algorithm};
     use wcoj_storage::ops::reorder;
-    use wcoj_storage::{Schema, Value};
+    use wcoj_storage::{HashTrieIndex, Schema, Value};
 
     fn random_rel(seed: u64, attrs: &[u32], n: usize, dom: u64) -> Relation {
         use rand::{Rng, SeedableRng};
@@ -162,6 +281,21 @@ mod tests {
         let b = join_with(&rels, Algorithm::Nprr, None).unwrap();
         assert_eq!(a.relation, b.relation);
         assert_eq!(a.stats.algorithm_used, "nprr-prepared");
+    }
+
+    #[test]
+    fn hash_backend_matches_sorted_backend() {
+        let rels = [
+            random_rel(11, &[0, 1], 60, 7),
+            random_rel(12, &[1, 2], 60, 7),
+            random_rel(13, &[0, 2], 60, 7),
+        ];
+        let sorted = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
+        let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).unwrap();
+        let a = sorted.evaluate(None).unwrap();
+        let b = hashed.evaluate(None).unwrap();
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(sorted.root_candidates(), hashed.root_candidates());
     }
 
     #[test]
@@ -210,5 +344,55 @@ mod tests {
         let out = prepared.evaluate(None).unwrap();
         assert!(out.relation.is_empty());
         assert_eq!(out.relation.arity(), 3);
+    }
+
+    #[test]
+    fn root_candidates_intersect_level0() {
+        // Total order for the triangle is (1, 0, 2): root attribute 1,
+        // contained in R(0,1) and S(1,2) but not T(0,2).
+        let r = Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[9, 1], &[9, 2], &[9, 3]]);
+        let s = Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 9], &[3, 9], &[4, 9]]);
+        let t = Relation::from_u32_rows(Schema::of(&[0, 2]), &[&[9, 9]]);
+        let prepared = PreparedQuery::new(&[r, s, t]).unwrap();
+        assert_eq!(prepared.total_order()[0], 1);
+        // π₁(R) = {1,2,3}, π₁(S) = {2,3,4} → intersection {2,3}
+        assert_eq!(prepared.root_candidates(), vec![Value(2), Value(3)]);
+    }
+
+    #[test]
+    fn sharded_runs_union_to_full_output() {
+        let rels = [
+            random_rel(20, &[0, 1], 80, 10),
+            random_rel(21, &[1, 2], 80, 10),
+            random_rel(22, &[0, 2], 80, 10),
+        ];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        let (x, b) = prepared.resolve_cover(None).unwrap();
+        let (all_rows, _) = prepared.run_shard(&x, b, None);
+        // Split the root domain at an arbitrary candidate boundary.
+        let cands = prepared.root_candidates();
+        assert!(!cands.is_empty());
+        let mid = cands[cands.len() / 2];
+        let low = prepared.run_shard(
+            &x,
+            b,
+            Some(RootShard {
+                lo: Value(u64::MIN),
+                hi: mid,
+            }),
+        );
+        let high = prepared.run_shard(
+            &x,
+            b,
+            Some(RootShard {
+                lo: Value(mid.0 + 1),
+                hi: Value(u64::MAX),
+            }),
+        );
+        let mut merged: Vec<Vec<Value>> = low.0.into_iter().chain(high.0).collect();
+        let mut expect = all_rows;
+        merged.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(merged, expect);
     }
 }

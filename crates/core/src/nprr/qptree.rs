@@ -36,8 +36,7 @@ impl QpNode {
     /// Number of nodes in this subtree.
     #[must_use]
     pub fn size(&self) -> usize {
-        1 + self.left.as_ref().map_or(0, |n| n.size())
-            + self.right.as_ref().map_or(0, |n| n.size())
+        1 + self.left.as_ref().map_or(0, |n| n.size()) + self.right.as_ref().map_or(0, |n| n.size())
     }
 
     /// Height of this subtree (leaf = 1).

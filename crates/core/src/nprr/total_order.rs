@@ -89,7 +89,12 @@ pub fn check_to2(root: &QpNode, order: &[usize]) -> bool {
         };
         // S = attrs preceding univ(u); first position of univ(u):
         let u_start = u.univ.iter().map(|&v| pos[v]).min().expect("nonempty univ");
-        let rc_start = rc.univ.iter().map(|&v| pos[v]).min().expect("nonempty univ");
+        let rc_start = rc
+            .univ
+            .iter()
+            .map(|&v| pos[v])
+            .min()
+            .expect("nonempty univ");
         // Preceding rc must be exactly S ∪ univ(lc):
         let mut expect: Vec<usize> = order[..u_start].to_vec();
         expect.extend(lc.univ.iter().copied());
@@ -158,12 +163,18 @@ mod tests {
 
     #[test]
     fn to1_to2_hold_on_assorted_shapes() {
-        let shapes = vec![
+        let shapes = [
             Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap(),
-            Hypergraph::new(4, vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]])
-                .unwrap(),
-            Hypergraph::new(5, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4]])
-                .unwrap(),
+            Hypergraph::new(
+                4,
+                vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]],
+            )
+            .unwrap(),
+            Hypergraph::new(
+                5,
+                vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4]],
+            )
+            .unwrap(),
             Hypergraph::new(4, vec![vec![0, 1, 2, 3], vec![0, 1], vec![2, 3]]).unwrap(),
             Hypergraph::new(2, vec![vec![0], vec![1], vec![0, 1]]).unwrap(),
         ];

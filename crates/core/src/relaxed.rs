@@ -55,7 +55,10 @@ pub fn relaxed_join(relations: &[Relation], r: usize) -> Result<RelaxedOutput, Q
         let mut c = 1usize;
         combos = combos.saturating_add(c); // the i = 0 term
         for i in 1..=r {
-            c = c.saturating_mul(m - i + 1).checked_div(i).unwrap_or(usize::MAX);
+            c = c
+                .saturating_mul(m - i + 1)
+                .checked_div(i)
+                .unwrap_or(usize::MAX);
             combos = combos.saturating_add(c);
         }
     }
@@ -241,8 +244,8 @@ mod tests {
         let r = rel(&[0, 1], &[&[1, 2], &[7, 8]]);
         let s = rel(&[1, 2], &[&[2, 3], &[8, 9]]);
         let t = rel(&[0, 2], &[&[1, 3]]); // only supports (1,2,3)
-        // r = 1: tuples agreeing with ≥ 2 of {R, S, T} — but every pair of
-        // edges already covers all three attributes, so C has all pairs.
+                                          // r = 1: tuples agreeing with ≥ 2 of {R, S, T} — but every pair of
+                                          // edges already covers all three attributes, so C has all pairs.
         let out = relaxed_join(&[r.clone(), s.clone(), t.clone()], 1).unwrap();
         let brute = relaxed_join_bruteforce(&[r, s, t], 1).unwrap();
         assert_eq!(out.relation, brute);

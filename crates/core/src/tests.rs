@@ -21,8 +21,7 @@ fn random_rel(rng: &mut rand::rngs::StdRng, attrs: &[u32], n: usize, dom: u64) -
 }
 
 fn assert_matches_naive(rels: &[Relation], algo: Algorithm, ctx: &str) {
-    let out = join_with(rels, algo, None)
-        .unwrap_or_else(|e| panic!("{ctx}: {algo:?} failed: {e}"));
+    let out = join_with(rels, algo, None).unwrap_or_else(|e| panic!("{ctx}: {algo:?} failed: {e}"));
     let expect = naive::join(rels);
     let expect = reorder(&expect, out.relation.schema()).unwrap();
     assert_eq!(out.relation, expect, "{ctx}: {algo:?} disagrees with naive");
@@ -47,7 +46,12 @@ fn all_algorithms_agree_on_triangles() {
         let s = random_rel(&mut rng, &[1, 2], 50, 9);
         let t = random_rel(&mut rng, &[0, 2], 50, 9);
         let rels = [r, s, t];
-        for algo in [Algorithm::Nprr, Algorithm::Lw, Algorithm::GraphJoin, Algorithm::Auto] {
+        for algo in [
+            Algorithm::Nprr,
+            Algorithm::Lw,
+            Algorithm::GraphJoin,
+            Algorithm::Auto,
+        ] {
             assert_matches_naive(&rels, algo, &format!("triangle trial {trial}"));
         }
     }
@@ -82,7 +86,12 @@ fn example_2_2_instance_is_empty_everywhere() {
     let s = Relation::from_rows(Schema::of(&[1, 2]), rows.clone()).unwrap();
     let t = Relation::from_rows(Schema::of(&[0, 2]), rows).unwrap();
     assert_eq!(r.len(), n as usize);
-    for algo in [Algorithm::Nprr, Algorithm::Lw, Algorithm::GraphJoin, Algorithm::Naive] {
+    for algo in [
+        Algorithm::Nprr,
+        Algorithm::Lw,
+        Algorithm::GraphJoin,
+        Algorithm::Naive,
+    ] {
         let out = join_with(&[r.clone(), s.clone(), t.clone()], algo, None).unwrap();
         assert!(out.relation.is_empty(), "{algo:?} must report empty");
     }
@@ -159,9 +168,9 @@ fn empty_query_rejected() {
 #[test]
 fn single_relation_query() {
     let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
-    let out = join(&[r.clone()]).unwrap();
+    let out = join(std::slice::from_ref(&r)).unwrap();
     assert_eq!(out, r);
-    let out2 = join_with(&[r.clone()], Algorithm::Nprr, None).unwrap();
+    let out2 = join_with(std::slice::from_ref(&r), Algorithm::Nprr, None).unwrap();
     assert_eq!(out2.relation, r);
 }
 
@@ -444,7 +453,9 @@ fn skew_forces_both_cases() {
     .unwrap();
     let t = Relation::from_rows(
         Schema::of(&[0, 2]),
-        (0..40u64).map(|i| vec![Value(i % 20), Value(i % 7)]).collect(),
+        (0..40u64)
+            .map(|i| vec![Value(i % 20), Value(i % 7)])
+            .collect(),
     )
     .unwrap();
     let rels = [r, s, t];

@@ -76,16 +76,17 @@ pub fn zipf_relation(seed: u64, attrs: &[u32], n: usize, dom: u64, s: f64) -> Re
 /// Panics if `n` is odd or zero.
 #[must_use]
 pub fn example_2_2(n: u64) -> Vec<Relation> {
-    assert!(n >= 2 && n.is_multiple_of(2), "Example 2.2 needs even n ≥ 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "Example 2.2 needs even n ≥ 2"
+    );
     let rows: Vec<Vec<Value>> = (1..=n / 2)
         .map(|j| vec![Value(0), Value(j)])
         .chain((1..=n / 2).map(|j| vec![Value(j), Value(0)]))
         .collect();
     [(0u32, 1u32), (1, 2), (0, 2)]
         .iter()
-        .map(|&(a, b)| {
-            Relation::from_rows(Schema::of(&[a, b]), rows.clone()).expect("pairs")
-        })
+        .map(|&(a, b)| Relation::from_rows(Schema::of(&[a, b]), rows.clone()).expect("pairs"))
         .collect()
 }
 
@@ -432,10 +433,7 @@ mod tests {
         let rels = cycle_instance(7, 5, 30, 6);
         assert_eq!(rels.len(), 5);
         for (i, r) in rels.iter().enumerate() {
-            assert_eq!(
-                r.schema(),
-                &Schema::of(&[i as u32, ((i + 1) % 5) as u32])
-            );
+            assert_eq!(r.schema(), &Schema::of(&[i as u32, ((i + 1) % 5) as u32]));
         }
     }
 

@@ -1,0 +1,443 @@
+//! # wcoj-exec — partition-parallel worst-case-optimal join execution
+//!
+//! The NPRR `Recursive-Join` (paper §5.2, Procedure 5) is embarrassingly
+//! parallel at the root of the total order. The paper's step 2a observes
+//! that for a tuple prefix `t`, the trie subtree under the branch for `t`
+//! **is** the search tree of the section `Rₑ[t]`; in particular, the
+//! sub-computations of `Recursive-Join` for two different values `a ≠ b`
+//! of the *first* attribute in the total order touch disjoint subtrees of
+//! every index and produce disjoint sets of output tuples (every output
+//! tuple binds the root attribute exactly once). Sub-joins for disjoint
+//! value ranges of the root attribute are therefore fully independent: no
+//! shared mutable state, no coordination, and a deterministic merge by
+//! simple concatenation in root-value order.
+//!
+//! This crate turns that observation into an execution engine:
+//!
+//! 1. **Shard planning** — walk level 0 of the prepared
+//!    [`SearchTree`] indexes ([`PreparedQuery::root_candidates`]: the
+//!    sorted intersection of root-level values over all relations
+//!    containing the root attribute) and split the candidate list into
+//!    contiguous ranges. The ranges jointly cover the whole value domain,
+//!    so correctness never depends on the candidate computation being
+//!    tight.
+//! 2. **Parallel run** — a fixed-size pool of scoped worker threads pulls
+//!    shards off an atomic cursor (cheap work stealing: shards are
+//!    oversplit ~4× relative to the thread count so a skewed shard cannot
+//!    serialise the run) and evaluates each with the sequential engine
+//!    restricted to the shard's root range ([`PreparedQuery::run_shard`]).
+//!    All workers share the same prepared indexes and the same fractional
+//!    cover, so every per-tuple size check (Procedure 5, line 21) sees
+//!    exactly the counts the sequential run would see.
+//! 3. **Deterministic merge** — per-shard row sets are concatenated in
+//!    root-value (= shard) order and assembled through the same
+//!    sort/dedup/reorder path as the sequential engine, so the output
+//!    relation is bit-identical to `join_nprr`'s. Per-worker [`JoinStats`]
+//!    are folded with [`JoinStats::absorb`].
+//!
+//! Entry points: [`par_join`] / [`par_join_with_cover`] for one-shot
+//! queries, [`par_join_prepared`] to reuse indexes across runs, and
+//! [`install`] to register the engine as `wcoj-core`'s
+//! [`Algorithm::NprrParallel`](wcoj_core::Algorithm::NprrParallel)
+//! executor (the `wcoj` facade and `wcoj-query` call it automatically).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wcoj_core::nprr::{PreparedQuery, RootShard};
+use wcoj_core::{JoinOutput, JoinQuery, JoinStats, QueryError};
+use wcoj_storage::{Relation, SearchTree, TrieIndex, Value};
+
+/// Knobs of the parallel executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads. `1` runs the sequential engine in-place.
+    pub threads: usize,
+    /// Minimum number of root-attribute candidate values per shard; the
+    /// planner never splits finer than this (oversplitting tiny domains
+    /// only buys scheduling overhead).
+    pub shard_min_size: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            shard_min_size: 16,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// A config with `threads` workers and the default shard floor.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> ExecConfig {
+        ExecConfig {
+            threads: threads.max(1),
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Default config overridden by the `WCOJ_THREADS` and
+    /// `WCOJ_SHARD_MIN_SIZE` environment variables when set — how the
+    /// [`Algorithm::NprrParallel`](wcoj_core::Algorithm::NprrParallel)
+    /// dispatch path (which carries no config) is tuned.
+    #[must_use]
+    pub fn from_env() -> ExecConfig {
+        let mut cfg = ExecConfig::default();
+        if let Some(t) = read_env_usize("WCOJ_THREADS") {
+            cfg.threads = t.max(1);
+        }
+        if let Some(m) = read_env_usize("WCOJ_SHARD_MIN_SIZE") {
+            cfg.shard_min_size = m.max(1);
+        }
+        cfg
+    }
+}
+
+fn read_env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Splits the sorted root-candidate list into at most `max_shards`
+/// contiguous inclusive ranges that jointly cover the **entire** value
+/// domain (`[0, u64::MAX]`): shard `i` owns the `i`-th chunk of
+/// candidates plus the gap up to the next chunk's first candidate.
+///
+/// Returns an empty plan when there is nothing to split (`≤ 1` shard
+/// requested or too few candidates) — callers fall back to a single
+/// unrestricted run.
+#[must_use]
+pub fn plan_shards(candidates: &[Value], max_shards: usize, min_size: usize) -> Vec<RootShard> {
+    let min_size = min_size.max(1);
+    let shards = max_shards.min(candidates.len() / min_size);
+    if shards <= 1 {
+        return Vec::new();
+    }
+    let chunk = candidates.len().div_ceil(shards);
+    let mut out = Vec::with_capacity(shards);
+    let mut lo = Value(u64::MIN);
+    let mut start = 0usize;
+    while start < candidates.len() {
+        let end = (start + chunk).min(candidates.len());
+        let hi = if end == candidates.len() {
+            Value(u64::MAX)
+        } else {
+            // everything up to (but not including) the next chunk's first
+            // candidate belongs to this shard
+            Value(candidates[end].0 - 1)
+        };
+        out.push(RootShard { lo, hi });
+        if end == candidates.len() {
+            break;
+        }
+        lo = Value(hi.0 + 1);
+        start = end;
+    }
+    out
+}
+
+/// Evaluates the natural join of `relations` on a worker pool, with the
+/// LP-optimal fractional cover. Output is bit-identical to the sequential
+/// [`join_nprr`](wcoj_core::nprr::join_nprr).
+///
+/// # Errors
+/// Same as [`wcoj_core::join_with`].
+pub fn par_join(relations: &[Relation], cfg: &ExecConfig) -> Result<JoinOutput, QueryError> {
+    par_join_with_cover(relations, None, cfg)
+}
+
+/// Like [`par_join`] with an explicit fractional cover (validated; one
+/// weight per relation in input order).
+///
+/// # Errors
+/// Same as [`wcoj_core::join_with`]; additionally
+/// [`QueryError::BadCover`] for invalid covers.
+pub fn par_join_with_cover(
+    relations: &[Relation],
+    cover: Option<&[f64]>,
+    cfg: &ExecConfig,
+) -> Result<JoinOutput, QueryError> {
+    let prepared = PreparedQuery::<TrieIndex>::new_indexed(relations)?;
+    par_join_prepared(&prepared, cover, cfg)
+}
+
+/// Runs the partition-parallel join over an existing preparation,
+/// sharing its indexes across all workers (paper Remark 5.2: pay the
+/// indexing once). Generic over the [`SearchTree`] backend.
+///
+/// # Errors
+/// [`QueryError::BadCover`] for invalid covers; LP errors when solving
+/// for the optimum.
+pub fn par_join_prepared<S>(
+    prepared: &PreparedQuery<S>,
+    cover: Option<&[f64]>,
+    cfg: &ExecConfig,
+) -> Result<JoinOutput, QueryError>
+where
+    S: SearchTree + Sync,
+{
+    if prepared.query().relations().iter().any(Relation::is_empty) {
+        return Ok(JoinOutput {
+            relation: Relation::empty(prepared.query().output_schema()),
+            stats: JoinStats {
+                algorithm_used: "nprr-parallel",
+                ..JoinStats::default()
+            },
+        });
+    }
+    let (x, log2_bound) = prepared.resolve_cover(cover)?;
+    Ok(par_run(prepared, &x, log2_bound, cfg))
+}
+
+/// The pool run: plan shards, fan out, merge. Infallible once the cover
+/// is resolved.
+fn par_run<S>(
+    prepared: &PreparedQuery<S>,
+    x: &[f64],
+    log2_bound: f64,
+    cfg: &ExecConfig,
+) -> JoinOutput
+where
+    S: SearchTree + Sync,
+{
+    // ~4× oversplit keeps the pool busy when value ranges carry skewed
+    // amounts of work; the atomic cursor below is the (trivial) stealing.
+    let max_shards = cfg.threads.max(1) * 4;
+    let shards = if cfg.threads > 1 {
+        plan_shards(&prepared.root_candidates(), max_shards, cfg.shard_min_size)
+    } else {
+        Vec::new()
+    };
+
+    let mut stats = JoinStats {
+        algorithm_used: "nprr-parallel",
+        log2_agm_bound: log2_bound,
+        cover: x.to_vec(),
+        ..JoinStats::default()
+    };
+
+    if shards.len() <= 1 {
+        // Degenerate plan: run unrestricted on this thread.
+        let (rows, run_stats) = prepared.run_shard(x, log2_bound, None);
+        stats.absorb(&run_stats);
+        return prepared
+            .assemble(rows, stats)
+            .expect("total-order rows assemble");
+    }
+
+    // One worker result: (shard index, raw rows, run statistics).
+    type ShardResult = (usize, Vec<Vec<Value>>, JoinStats);
+    let n_workers = cfg.threads.min(shards.len());
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<ShardResult>> = Mutex::new(Vec::with_capacity(shards.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&shard) = shards.get(i) else { break };
+                let (rows, run_stats) = prepared.run_shard(x, log2_bound, Some(shard));
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((i, rows, run_stats));
+            });
+        }
+    });
+
+    // Merge deterministically in root-value (= shard-index) order.
+    let mut per_shard = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    per_shard.sort_unstable_by_key(|(i, _, _)| *i);
+    debug_assert_eq!(per_shard.len(), shards.len(), "every shard ran once");
+    let mut rows = Vec::with_capacity(per_shard.iter().map(|(_, r, _)| r.len()).sum());
+    for (_, shard_rows, run_stats) in per_shard {
+        rows.extend(shard_rows);
+        stats.absorb(&run_stats);
+    }
+    prepared
+        .assemble(rows, stats)
+        .expect("total-order rows assemble")
+}
+
+/// The [`Algorithm::NprrParallel`](wcoj_core::Algorithm::NprrParallel)
+/// executor registered by [`install`]: builds a preparation for the query
+/// and runs with [`ExecConfig::from_env`].
+fn hook_executor(q: &JoinQuery, x: &[f64], log2_bound: f64) -> Result<JoinOutput, QueryError> {
+    let prepared = PreparedQuery::<TrieIndex>::from_query(q.clone())?;
+    Ok(par_run(&prepared, x, log2_bound, &ExecConfig::from_env()))
+}
+
+/// Registers this engine as the process-wide executor for
+/// [`Algorithm::NprrParallel`](wcoj_core::Algorithm::NprrParallel).
+/// Idempotent and cheap — call freely before `join_with`.
+pub fn install() {
+    wcoj_core::register_parallel_executor(hook_executor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_core::{join_with, Algorithm};
+    use wcoj_storage::{HashTrieIndex, Schema};
+
+    fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
+        Relation::from_u32_rows(Schema::of(schema), rows)
+    }
+
+    fn assert_matches_sequential(rels: &[Relation], cfg: &ExecConfig, ctx: &str) {
+        let seq = join_with(rels, Algorithm::Nprr, None).unwrap();
+        let par = par_join(rels, cfg).unwrap();
+        assert_eq!(par.relation, seq.relation, "{ctx}");
+        assert_eq!(par.stats.algorithm_used, "nprr-parallel", "{ctx}");
+    }
+
+    #[test]
+    fn plan_covers_domain_and_respects_floor() {
+        let cands: Vec<Value> = (0..40u64).map(|i| Value(i * 3)).collect();
+        let plan = plan_shards(&cands, 4, 1);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0].lo, Value(0));
+        assert_eq!(plan.last().unwrap().hi, Value(u64::MAX));
+        for w in plan.windows(2) {
+            assert_eq!(w[1].lo.0, w[0].hi.0 + 1, "gap-free");
+        }
+        // floor: 40 candidates at min 30 per shard → no useful split
+        assert!(plan_shards(&cands, 4, 30).is_empty());
+        assert!(plan_shards(&[], 4, 1).is_empty());
+        assert!(plan_shards(&cands, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn triangle_matches_sequential_across_thread_counts() {
+        let rels = [
+            wcoj_datagen::random_relation(1, &[0, 1], 120, 12),
+            wcoj_datagen::random_relation(2, &[1, 2], 120, 12),
+            wcoj_datagen::random_relation(3, &[0, 2], 120, 12),
+        ];
+        for threads in [1, 2, 4, 8] {
+            let cfg = ExecConfig {
+                threads,
+                shard_min_size: 1,
+            };
+            assert_matches_sequential(&rels, &cfg, &format!("triangle t={threads}"));
+        }
+    }
+
+    #[test]
+    fn hard_triangle_and_paper_examples() {
+        let cfg = ExecConfig {
+            threads: 4,
+            shard_min_size: 1,
+        };
+        // Example 2.2: the adversarial empty-output triangle.
+        assert_matches_sequential(&wcoj_datagen::example_2_2(64), &cfg, "example 2.2");
+        // AGM-tight grid triangle.
+        assert_matches_sequential(&wcoj_datagen::agm_tight_triangle(6), &cfg, "agm tight");
+        // LW instance (n=4).
+        assert_matches_sequential(&wcoj_datagen::random_lw(5, 4, 120, 8), &cfg, "lw4");
+        // 5-cycle.
+        assert_matches_sequential(&wcoj_datagen::cycle_instance(9, 5, 60, 10), &cfg, "5-cycle");
+        // §5.2 worked example (5 relations, 6 attributes).
+        assert_matches_sequential(&wcoj_datagen::worked_example(7, 80, 6), &cfg, "figure 2");
+    }
+
+    #[test]
+    fn degenerate_queries() {
+        let cfg = ExecConfig {
+            threads: 4,
+            shard_min_size: 1,
+        };
+        // single relation
+        assert_matches_sequential(&[rel(&[0, 1], &[&[1, 2], &[3, 4]])], &cfg, "single");
+        // empty input relation short-circuits
+        let out = par_join(
+            &[
+                rel(&[0, 1], &[&[1, 2]]),
+                Relation::empty(Schema::of(&[1, 2])),
+            ],
+            &cfg,
+        )
+        .unwrap();
+        assert!(out.relation.is_empty());
+        assert_eq!(out.relation.arity(), 3);
+        // nullary: join of non-empty nullary relations is "true"
+        let out = par_join(&[Relation::nullary_true()], &cfg).unwrap();
+        assert_eq!(out.relation.len(), 1);
+        assert_eq!(out.relation.arity(), 0);
+    }
+
+    #[test]
+    fn explicit_cover_and_bad_cover() {
+        let rels = [
+            rel(&[0, 1], &[&[1, 2], &[1, 3]]),
+            rel(&[1, 2], &[&[2, 4], &[3, 4]]),
+            rel(&[0, 2], &[&[1, 4]]),
+        ];
+        let cfg = ExecConfig::with_threads(2);
+        let out = par_join_with_cover(&rels, Some(&[1.0, 1.0, 1.0]), &cfg).unwrap();
+        assert_eq!(out.relation.len(), 2);
+        assert!(par_join_with_cover(&rels, Some(&[0.1, 0.1, 0.1]), &cfg).is_err());
+    }
+
+    #[test]
+    fn prepared_reuse_and_hash_backend() {
+        let rels = [
+            wcoj_datagen::random_relation(20, &[0, 1, 2], 80, 6),
+            wcoj_datagen::random_relation(21, &[2, 3], 80, 6),
+            wcoj_datagen::random_relation(22, &[0, 3], 80, 6),
+        ];
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let sorted = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
+        let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).unwrap();
+        for threads in [2, 8] {
+            let cfg = ExecConfig {
+                threads,
+                shard_min_size: 1,
+            };
+            let a = par_join_prepared(&sorted, None, &cfg).unwrap();
+            let b = par_join_prepared(&hashed, None, &cfg).unwrap();
+            assert_eq!(a.relation, seq.relation, "sorted t={threads}");
+            assert_eq!(b.relation, seq.relation, "hashed t={threads}");
+        }
+        // reuse is cheap: second evaluation over the same preparation
+        let again = par_join_prepared(&sorted, None, &ExecConfig::with_threads(4)).unwrap();
+        assert_eq!(again.relation, seq.relation);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let rels = [
+            wcoj_datagen::random_relation(30, &[0, 1], 200, 16),
+            wcoj_datagen::random_relation(31, &[1, 2], 200, 16),
+            wcoj_datagen::random_relation(32, &[0, 2], 200, 16),
+        ];
+        let out = par_join(
+            &rels,
+            &ExecConfig {
+                threads: 4,
+                shard_min_size: 1,
+            },
+        )
+        .unwrap();
+        assert!(out.stats.shards > 1, "plan actually split");
+        assert!(out.stats.case_a + out.stats.case_b > 0);
+        assert!(out.stats.log2_agm_bound > 0.0);
+    }
+
+    #[test]
+    fn install_enables_algorithm_variant() {
+        install();
+        install(); // idempotent
+        let rels = [
+            rel(&[0, 1], &[&[1, 2], &[1, 3]]),
+            rel(&[1, 2], &[&[2, 4], &[3, 4]]),
+            rel(&[0, 2], &[&[1, 4]]),
+        ];
+        let out = join_with(&rels, Algorithm::NprrParallel, None).unwrap();
+        assert_eq!(out.relation.len(), 2);
+        assert_eq!(out.stats.algorithm_used, "nprr-parallel");
+    }
+}

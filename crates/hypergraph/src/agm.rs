@@ -289,15 +289,19 @@ pub fn dual_assignment(h: &Hypergraph, sizes: &[usize]) -> Result<DualSolution, 
     // maximise Σ y_v  ⇔  minimise Σ (−1)·y_v
     let n = h.num_vertices();
     let mut lp = wcoj_lp::LinearProgram::minimize(vec![-1.0; n]);
-    for e in 0..h.num_edges() {
+    debug_assert_eq!(sizes.len(), h.num_edges());
+    for (e, &size) in sizes.iter().enumerate() {
         let coeffs: Vec<f64> = (0..n)
             .map(|v| if h.edge_contains(e, v) { 1.0 } else { 0.0 })
             .collect();
-        lp.le(coeffs, (sizes[e].max(1) as f64).log2());
+        lp.le(coeffs, (size.max(1) as f64).log2());
     }
     let sol = solve(&lp).map_err(|e| HgError::Lp(e.to_string()))?;
     if sol.status != Status::Optimal {
-        return Err(HgError::Lp(format!("dual: unexpected status {:?}", sol.status)));
+        return Err(HgError::Lp(format!(
+            "dual: unexpected status {:?}",
+            sol.status
+        )));
     }
     Ok(DualSolution {
         y: sol.x,
@@ -366,9 +370,9 @@ mod dual_tests {
                 "trial {trial}: strong duality violated"
             );
             // dual feasibility
-            for e in 0..m {
+            for (e, &size) in sizes.iter().enumerate().take(m) {
                 let lhs: f64 = h.edge(e).iter().map(|&v| dual.y[v]).sum();
-                assert!(lhs <= (sizes[e].max(1) as f64).log2() + 1e-6, "trial {trial}");
+                assert!(lhs <= (size.max(1) as f64).log2() + 1e-6, "trial {trial}");
             }
         }
     }

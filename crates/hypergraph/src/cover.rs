@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn short_vectors_rejected() {
         let h = triangle();
-        assert_eq!(
-            validate_cover(&h, &[1.0]),
-            Err(HgError::CoverArityMismatch)
-        );
+        assert_eq!(validate_cover(&h, &[1.0]), Err(HgError::CoverArityMismatch));
     }
 
     #[test]

@@ -209,9 +209,7 @@ pub fn decompose(h: &Hypergraph, x: &[Rational]) -> Result<HalfIntegralDecomposi
 #[must_use]
 pub fn uncovered_by_positive(h: &Hypergraph, x: &[Rational]) -> Vec<usize> {
     (0..h.num_vertices())
-        .filter(|&v| {
-            !(0..h.num_edges()).any(|e| h.edge_contains(e, v) && x[e].is_positive())
-        })
+        .filter(|&v| !(0..h.num_edges()).any(|e| h.edge_contains(e, v) && x[e].is_positive()))
         .collect()
 }
 
@@ -275,8 +273,7 @@ mod tests {
         // A 4-cycle's optimal cover is x = (1, 0, 1, 0) (a perfect
         // matching), not half-integral halves — an even cycle is NOT an
         // extreme point at 1/2 (Lemma 7.2's proof).
-        let h =
-            Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]).unwrap();
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]).unwrap();
         let sol = optimal_cover(&h, &[70; 4]).unwrap();
         let d = decompose(&h, &sol.exact).unwrap();
         assert!(d.cycles.is_empty());
@@ -320,8 +317,7 @@ mod tests {
     #[test]
     fn rejects_even_half_cycle() {
         // Force halves on a 4-cycle: structurally invalid for a BFS.
-        let h =
-            Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]).unwrap();
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]).unwrap();
         let halves = vec![Rational::ONE_HALF; 4];
         assert!(matches!(
             decompose(&h, &halves),
@@ -346,10 +342,42 @@ mod tests {
         // always decomposes.
         use crate::agm::optimal_cover;
         let cases: Vec<(usize, Vec<Vec<usize>>)> = vec![
-            (6, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![3, 4], vec![4, 5], vec![3, 5]]),
-            (7, vec![vec![0, 1], vec![1, 2], vec![2, 0], vec![3, 4], vec![4, 5], vec![5, 6], vec![6, 3], vec![2, 3]]),
+            (
+                6,
+                vec![
+                    vec![0, 1],
+                    vec![1, 2],
+                    vec![0, 2],
+                    vec![3, 4],
+                    vec![4, 5],
+                    vec![3, 5],
+                ],
+            ),
+            (
+                7,
+                vec![
+                    vec![0, 1],
+                    vec![1, 2],
+                    vec![2, 0],
+                    vec![3, 4],
+                    vec![4, 5],
+                    vec![5, 6],
+                    vec![6, 3],
+                    vec![2, 3],
+                ],
+            ),
             (4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]),
-            (5, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0], vec![0, 2]]),
+            (
+                5,
+                vec![
+                    vec![0, 1],
+                    vec![1, 2],
+                    vec![2, 3],
+                    vec![3, 4],
+                    vec![4, 0],
+                    vec![0, 2],
+                ],
+            ),
         ];
         for (i, (n, edges)) in cases.into_iter().enumerate() {
             let h = Hypergraph::new(n, edges).unwrap();

@@ -76,7 +76,10 @@ impl fmt::Display for HgError {
             HgError::UncoveredVertex(v) => write!(f, "vertex {v} belongs to no edge"),
             HgError::CoverArityMismatch => write!(f, "cover length differs from edge count"),
             HgError::NotACover { vertex } => {
-                write!(f, "vector is not a fractional cover: vertex {vertex} uncovered")
+                write!(
+                    f,
+                    "vector is not a fractional cover: vertex {vertex} uncovered"
+                )
             }
             HgError::Lp(m) => write!(f, "cover LP failed: {m}"),
             HgError::NotAGraph { edge } => write!(f, "edge {edge} has arity > 2"),

@@ -230,22 +230,22 @@ mod tests {
         let shapes: Vec<Hypergraph> = vec![
             triangle(),
             Hypergraph::new(4, vec![vec![0, 1, 2], vec![2, 3], vec![0, 3], vec![1, 3]]).unwrap(),
-            Hypergraph::new(5, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4]])
-                .unwrap(),
+            Hypergraph::new(
+                5,
+                vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4]],
+            )
+            .unwrap(),
         ];
         for (si, h) in shapes.iter().enumerate() {
             for k in 1..6i128 {
                 // overweight cover: 1 + k/7 on every edge
                 let x = vec![Rational::ONE + Rational::new(k, 7); h.num_edges()];
                 let t = tighten(h, &x).unwrap();
-                assert!(
-                    is_tight_cover(&t.hypergraph, &t.cover),
-                    "shape {si}, k={k}"
-                );
+                assert!(is_tight_cover(&t.hypergraph, &t.cover), "shape {si}, k={k}");
                 // every original edge kept, with weight ≤ original
-                for i in 0..h.num_edges() {
+                for (i, xi) in x.iter().enumerate().take(h.num_edges()) {
                     assert_eq!(t.hypergraph.edge(i), h.edge(i));
-                    assert!(t.cover[i] <= x[i]);
+                    assert!(t.cover[i] <= *xi);
                 }
                 // provenance sources are valid original edges
                 for p in &t.provenance {

@@ -82,11 +82,7 @@ impl<S: Scalar> LinearProgram<S> {
     /// Panics if the coefficient row's length differs from the variable
     /// count (a programming error, not a data error).
     pub fn add_constraint(&mut self, c: Constraint<S>) {
-        assert_eq!(
-            c.coeffs.len(),
-            self.num_vars(),
-            "constraint arity mismatch"
-        );
+        assert_eq!(c.coeffs.len(), self.num_vars(), "constraint arity mismatch");
         self.constraints.push(c);
     }
 

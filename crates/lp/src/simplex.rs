@@ -127,7 +127,8 @@ impl<S: Scalar> Tableau<S> {
             let factor = row[c].clone();
             for (v, p) in row.iter_mut().zip(&pivot_row) {
                 if !p.is_zero() {
-                    *v = v.sub(&factor.mul(p).ok_or(LpError::Overflow)?)
+                    *v = v
+                        .sub(&factor.mul(p).ok_or(LpError::Overflow)?)
                         .ok_or(LpError::Overflow)?;
                 }
             }
@@ -315,9 +316,8 @@ pub fn solve<S: Scalar>(lp: &LinearProgram<S>) -> Result<Solution<S>, LpError> {
             if !matches!(t.kind[b], Col::Artificial) {
                 continue;
             }
-            let pivot_col = (0..t.cols).find(|&j| {
-                !matches!(t.kind[j], Col::Artificial) && !t.rows[i][j].is_zero()
-            });
+            let pivot_col = (0..t.cols)
+                .find(|&j| !matches!(t.kind[j], Col::Artificial) && !t.rows[i][j].is_zero());
             if let Some(j) = pivot_col {
                 t.pivot(i, j)?;
             }

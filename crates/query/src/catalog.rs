@@ -2,14 +2,18 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use wcoj_exec::ExecConfig;
 use wcoj_storage::{Datum, Dictionary, Relation};
 
 /// A catalog: named relations sharing one [`Dictionary`] so string values
-/// compare consistently across relations.
+/// compare consistently across relations, plus the catalog-level execution
+/// configuration (sequential by default; opt in to the partition-parallel
+/// engine with [`Catalog::set_parallel`]).
 #[derive(Clone)]
 pub struct Catalog {
     dict: Arc<Dictionary>,
     relations: BTreeMap<String, Relation>,
+    parallel: Option<ExecConfig>,
 }
 
 impl Default for Catalog {
@@ -19,13 +23,27 @@ impl Default for Catalog {
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty catalog (sequential execution).
     #[must_use]
     pub fn new() -> Catalog {
         Catalog {
             dict: Arc::new(Dictionary::new()),
             relations: BTreeMap::new(),
+            parallel: None,
         }
+    }
+
+    /// Opts every query executed against this catalog into the
+    /// partition-parallel engine with `cfg` (`None` reverts to
+    /// sequential). Applies to single queries and whole Datalog programs.
+    pub fn set_parallel(&mut self, cfg: Option<ExecConfig>) {
+        self.parallel = cfg;
+    }
+
+    /// The catalog-level parallel execution config, if any.
+    #[must_use]
+    pub fn parallel(&self) -> Option<&ExecConfig> {
+        self.parallel.as_ref()
     }
 
     /// The shared dictionary (encode constants through this).
@@ -79,7 +97,10 @@ mod tests {
     fn insert_get_names() {
         let mut c = Catalog::new();
         assert!(c.is_empty());
-        c.insert("R", Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2]]));
+        c.insert(
+            "R",
+            Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2]]),
+        );
         c.insert("S", Relation::from_u32_rows(Schema::of(&[0]), &[&[1]]));
         assert_eq!(c.len(), 2);
         assert_eq!(c.names(), vec!["R", "S"]);

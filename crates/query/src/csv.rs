@@ -1,7 +1,6 @@
 //! Minimal CSV ingestion: comma-separated, no quoting of commas, integer
 //! columns encoded inline, anything else interned through the dictionary.
 
-use bytes::Bytes;
 use wcoj_storage::{Datum, Dictionary, Relation, Schema, StorageError, Value};
 
 /// Parses CSV text into a relation over attributes `0..arity` (arity is
@@ -12,10 +11,7 @@ use wcoj_storage::{Datum, Dictionary, Relation, Schema, StorageError, Value};
 /// [`StorageError::ArityMismatch`] if a later line has a different number
 /// of fields.
 pub fn load_csv(content: &str, dict: &Dictionary) -> Result<Relation, StorageError> {
-    // Bytes is used for cheap zero-copy slicing of the input buffer.
-    let buf = Bytes::copy_from_slice(content.as_bytes());
-    let text = std::str::from_utf8(&buf).expect("came from &str");
-
+    let text = content;
     let mut rows: Vec<Vec<Value>> = Vec::new();
     let mut arity: Option<usize> = None;
     for line in text.lines() {

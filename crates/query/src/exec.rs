@@ -38,6 +38,9 @@ impl QueryResult {
 /// [`QueryTextError::ArityMismatch`] /
 /// [`QueryTextError::UnboundHeadVariable`]) or evaluation failures.
 pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryTextError> {
+    // Using the text front-end implies both engines are linked; make
+    // Algorithm::NprrParallel dispatchable process-wide (idempotent).
+    wcoj_exec::install();
     // Variable name → id (= attribute id), in first-occurrence order.
     let mut var_names: Vec<String> = Vec::new();
     let var_id = |name: &str, var_names: &mut Vec<String>| -> u32 {
@@ -70,9 +73,7 @@ pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryT
                 ParsedTerm::Str(s) => Term::Const(catalog.dictionary().encode_str(s)),
             })
             .collect();
-        subgoals.push(
-            Subgoal::new(rel.clone(), terms).expect("arity checked above"),
-        );
+        subgoals.push(Subgoal::new(rel.clone(), terms).expect("arity checked above"));
     }
 
     // Head variables must occur in the body.
@@ -88,8 +89,18 @@ pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryT
         })
         .collect::<Result<_, _>>()?;
 
-    let full = wcoj_core::fullcq::evaluate(&subgoals)
+    // §7.3 reduction, then the worst-case-optimal join — on the
+    // partition-parallel engine when the catalog opted in.
+    let reduced = wcoj_core::fullcq::reduce_all(&subgoals)
         .map_err(|e| QueryTextError::Eval(e.to_string()))?;
+    let full = match catalog.parallel() {
+        Some(cfg) => {
+            wcoj_exec::par_join(&reduced, cfg)
+                .map_err(|e| QueryTextError::Eval(e.to_string()))?
+                .relation
+        }
+        None => wcoj_core::join(&reduced).map_err(|e| QueryTextError::Eval(e.to_string()))?,
+    };
 
     // Project onto the head (identity for full queries).
     let head_attrs: Vec<Attr> = head_ids.iter().map(|&v| Attr(v)).collect();
@@ -196,6 +207,24 @@ mod tests {
             decoded[0],
             vec![Datum::str("alice"), Datum::str("bob"), Datum::str("carol")]
         );
+    }
+
+    #[test]
+    fn parallel_catalog_matches_sequential() {
+        let mut c = catalog_with_triangle();
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let seq = execute(&q, &c).unwrap();
+        for threads in [1, 2, 4, 8] {
+            c.set_parallel(Some(wcoj_exec::ExecConfig {
+                threads,
+                shard_min_size: 1,
+            }));
+            let par = execute(&q, &c).unwrap();
+            assert_eq!(par.relation, seq.relation, "{threads} threads");
+            assert_eq!(par.columns, seq.columns);
+        }
+        c.set_parallel(None);
+        assert_eq!(execute(&q, &c).unwrap().relation, seq.relation);
     }
 
     #[test]

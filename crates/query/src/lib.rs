@@ -22,6 +22,9 @@ pub use csv::load_csv;
 pub use exec::{execute, QueryResult};
 pub use parser::{parse_query, ParsedAtom, ParsedQuery, ParsedTerm};
 pub use program::{parse_program, run_program, Program};
+// Re-export so front-end users can opt catalogs into parallel execution
+// without naming wcoj-exec directly.
+pub use wcoj_exec::ExecConfig;
 
 use std::fmt;
 

@@ -99,7 +99,8 @@ impl<'a> Cursor<'a> {
                 break;
             }
         }
-        if self.pos == start || !self.src[start..].starts_with(|c: char| c.is_alphabetic() || c == '_')
+        if self.pos == start
+            || !self.src[start..].starts_with(|c: char| c.is_alphabetic() || c == '_')
         {
             self.pos = start;
             return self.err("expected identifier");
@@ -209,10 +210,7 @@ mod tests {
         assert_eq!(q.atoms[0].relation, "R");
         assert_eq!(
             q.atoms[0].terms,
-            vec![
-                ParsedTerm::Var("x".into()),
-                ParsedTerm::Var("y".into())
-            ]
+            vec![ParsedTerm::Var("x".into()), ParsedTerm::Var("y".into())]
         );
     }
 

@@ -124,10 +124,7 @@ mod tests {
         let mut c = Catalog::new();
         c.insert(
             "E",
-            Relation::from_u32_rows(
-                Schema::of(&[0, 1]),
-                &[&[1, 2], &[2, 3], &[1, 3], &[3, 4]],
-            ),
+            Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2], &[2, 3], &[1, 3], &[3, 4]]),
         );
         c
     }
@@ -168,6 +165,28 @@ mod tests {
         // 4 direct edges ∪ 2-paths {(1,3),(2,4),(1,4)} → 4 + 2 new = 6
         // ((1,3) already a direct edge)
         assert_eq!(out[1].1.relation.len(), 6);
+    }
+
+    #[test]
+    fn program_runs_on_parallel_catalog() {
+        let p = parse_program(
+            "wedge(x, y, z) :- E(x, y), E(y, z).\n\
+             tri(x, y, z) :- wedge(x, y, z), E(x, z).",
+        )
+        .unwrap();
+        let mut seq_cat = edge_catalog();
+        let seq = run_program(&p, &mut seq_cat).unwrap();
+        let mut par_cat = edge_catalog();
+        par_cat.set_parallel(Some(wcoj_exec::ExecConfig {
+            threads: 4,
+            shard_min_size: 1,
+        }));
+        let par = run_program(&p, &mut par_cat).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for ((n1, r1), (n2, r2)) in seq.iter().zip(&par) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.relation, r2.relation, "rule {n1}");
+        }
     }
 
     #[test]

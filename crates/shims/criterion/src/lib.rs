@@ -1,0 +1,257 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace's
+//! `benches/` targets link against this minimal reimplementation of the
+//! criterion API surface they use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function` /
+//! `sample_size` / `finish`, [`BenchmarkId::new`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model (simple on purpose): each benchmark runs one warm-up
+//! invocation, then `sample_size` timed samples; the mean, minimum, and
+//! maximum per-iteration wall time are printed as one line per benchmark.
+//! There is no statistical analysis, HTML report, or saved baseline.
+//! Passing `--test` (as `cargo test` does for bench targets) runs each
+//! benchmark exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering (re-export of
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier `function_name/parameter` for one benchmark point.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+/// Timing driver passed to the closure of `bench_*`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f` (result is black-boxed so the body
+    /// is not optimised away).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark manager: holds global state (here: just CLI mode).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                // flags cargo bench forwards that we can ignore
+                "--bench" | "--profile-time" | "--noplot" | "--quiet" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 10,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id: BenchmarkId = id.into();
+        run_one(&id.id, 10, self.test_mode, self.filter.as_deref(), f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.sample_size,
+            self.criterion.test_mode,
+            self.criterion.filter.as_deref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.sample_size,
+            self.criterion.test_mode,
+            self.criterion.filter.as_deref(),
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    full_name: &str,
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !full_name.contains(pat) {
+            return;
+        }
+    }
+    let samples = if test_mode { 1 } else { sample_size };
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    // one warm-up, then the timed samples
+    for i in 0..=samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if i > 0 {
+            times.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let (lo, hi) = times.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| {
+        (lo.min(t), hi.max(t))
+    });
+    println!(
+        "{full_name:<50} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(mean),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark entry function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_prints() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("count", 5), &5u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran += 1;
+        });
+        g.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+    }
+}

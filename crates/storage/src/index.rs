@@ -48,6 +48,17 @@ pub trait SearchTree: Sized {
     /// (ST3) visit each distinct length-`extra` extension, in a
     /// deterministic (sorted) order.
     fn for_each_extension(&self, node: Self::Node, extra: usize, f: impl FnMut(&[Value]));
+
+    /// Branch labels of `node` (its distinct one-step extensions), sorted
+    /// ascending. At the root this is the **level-0 view** the
+    /// partition-parallel executor shards on: the subtree under each label
+    /// is the search tree of that section (paper §5.2, step 2a), so
+    /// disjoint label ranges denote fully independent sub-joins.
+    fn child_values(&self, node: Self::Node) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.distinct_count(node, 1));
+        self.for_each_extension(node, 1, |t| out.push(t[0]));
+        out
+    }
 }
 
 /// A trie with per-node hash child maps (the paper's "collection of hash
@@ -121,8 +132,8 @@ impl HashTrieIndex {
         // Aggregate counts.
         let mut counts = vec![0u32; levels_below];
         counts[0] = children.len() as u32;
-        for j in 1..levels_below {
-            counts[j] = children
+        for (j, slot) in counts.iter_mut().enumerate().skip(1) {
+            *slot = children
                 .iter()
                 .map(|&(_, c)| nodes[c as usize].counts[j - 1])
                 .sum();
@@ -208,6 +219,10 @@ impl SearchTree for HashTrieIndex {
         let mut buf = Vec::with_capacity(extra);
         self.visit(node, extra, &mut buf, &mut f);
     }
+
+    fn child_values(&self, node: u32) -> Vec<Value> {
+        self.nodes[node as usize].sorted.clone()
+    }
 }
 
 // Blanket impl of the trait for the sorted counted trie (its inherent
@@ -227,13 +242,11 @@ impl SearchTree for crate::TrieIndex {
     fn distinct_count(&self, node: crate::NodeRef, extra: usize) -> usize {
         crate::TrieIndex::distinct_count(self, node, extra)
     }
-    fn for_each_extension(
-        &self,
-        node: crate::NodeRef,
-        extra: usize,
-        f: impl FnMut(&[Value]),
-    ) {
+    fn for_each_extension(&self, node: crate::NodeRef, extra: usize, f: impl FnMut(&[Value])) {
         crate::TrieIndex::for_each_extension(self, node, extra, f);
+    }
+    fn child_values(&self, node: crate::NodeRef) -> Vec<Value> {
+        crate::TrieIndex::child_values(self, node)
     }
 }
 
@@ -286,11 +299,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for trial in 0..10 {
             let rows: Vec<Vec<Value>> = (0..60)
-                .map(|_| {
-                    (0..3)
-                        .map(|_| Value(rng.gen_range(0..5u64)))
-                        .collect()
-                })
+                .map(|_| (0..3).map(|_| Value(rng.gen_range(0..5u64))).collect())
                 .collect();
             let r = Relation::from_rows(Schema::of(&[0, 1, 2]), rows).unwrap();
             let order = attrs(&[2, 0, 1]);

@@ -9,15 +9,13 @@ use proptest::prelude::*;
 
 fn arb_rel(arity: usize, max_rows: usize, dom: u64) -> impl Strategy<Value = Relation> {
     let attrs: Vec<u32> = (0..arity as u32).collect();
-    prop::collection::vec(prop::collection::vec(0..dom, arity), 0..max_rows).prop_map(
-        move |rows| {
-            let vrows: Vec<Vec<Value>> = rows
-                .into_iter()
-                .map(|r| r.into_iter().map(Value).collect())
-                .collect();
-            Relation::from_rows(Schema::of(&attrs), vrows).expect("arity consistent")
-        },
-    )
+    prop::collection::vec(prop::collection::vec(0..dom, arity), 0..max_rows).prop_map(move |rows| {
+        let vrows: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Value).collect())
+            .collect();
+        Relation::from_rows(Schema::of(&attrs), vrows).expect("arity consistent")
+    })
 }
 
 /// Applies `σ` for each prefix value and `π` for the remaining columns —

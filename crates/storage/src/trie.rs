@@ -212,9 +212,7 @@ impl TrieIndex {
     /// (ST1) Descends along a whole tuple prefix.
     #[must_use]
     pub fn descend_tuple(&self, node: NodeRef, prefix: &[Value]) -> Option<NodeRef> {
-        prefix
-            .iter()
-            .try_fold(node, |n, &v| self.descend(n, v))
+        prefix.iter().try_fold(node, |n, &v| self.descend(n, v))
     }
 
     /// (ST1) Is `prefix` a prefix of some tuple?
@@ -323,10 +321,7 @@ mod tests {
         assert_eq!(t.distinct_count(t.root(), 1), 2);
         // level 1: full tuples
         assert_eq!(t.distinct_count(t.root(), 2), 3);
-        assert_eq!(
-            t.child_values(t.root()),
-            vec![Value(1), Value(2)]
-        );
+        assert_eq!(t.child_values(t.root()), vec![Value(1), Value(2)]);
     }
 
     #[test]
@@ -403,7 +398,10 @@ mod tests {
 
     #[test]
     fn section_relation_matches_manual_projection() {
-        let r = rel(&[0, 1, 2], &[&[1, 2, 3], &[1, 2, 4], &[1, 5, 6], &[2, 2, 2]]);
+        let r = rel(
+            &[0, 1, 2],
+            &[&[1, 2, 3], &[1, 2, 4], &[1, 5, 6], &[2, 2, 2]],
+        );
         let t = TrieIndex::build(&r, &attrs(&[0, 1, 2])).unwrap();
         let n1 = t.descend(t.root(), Value(1)).unwrap();
         let sec = t.section_relation(n1, 2);

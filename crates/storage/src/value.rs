@@ -8,8 +8,8 @@
 //! directly) so purely numeric workloads never touch the dictionary at all.
 
 use crate::hash::FxHashMap;
-use parking_lot::RwLock;
 use std::fmt;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// An opaque, dictionary-encoded value. Ordering is byte-wise on the code,
 /// which is what the trie index sorts by; it is *not* the ordering of the
@@ -108,6 +108,18 @@ pub struct Dictionary {
     inner: RwLock<DictInner>,
 }
 
+impl Dictionary {
+    /// Read lock, ignoring poisoning (the dictionary's invariants hold
+    /// after any partial write: both maps are append-only).
+    fn read_inner(&self) -> RwLockReadGuard<'_, DictInner> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_inner(&self) -> RwLockWriteGuard<'_, DictInner> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[derive(Default)]
 struct DictInner {
     by_str: FxHashMap<Box<str>, u64>,
@@ -133,10 +145,10 @@ impl Dictionary {
                 Value(*v)
             }
             Datum::Str(s) => {
-                if let Some(&idx) = self.inner.read().by_str.get(s.as_ref()) {
+                if let Some(&idx) = self.read_inner().by_str.get(s.as_ref()) {
                     return Value(STR_TAG | idx);
                 }
-                let mut w = self.inner.write();
+                let mut w = self.write_inner();
                 if let Some(&idx) = w.by_str.get(s.as_ref()) {
                     return Value(STR_TAG | idx);
                 }
@@ -160,8 +172,7 @@ impl Dictionary {
             Some(Datum::Int(v.0))
         } else {
             let idx = (v.0 & !STR_TAG) as usize;
-            self.inner
-                .read()
+            self.read_inner()
                 .strings
                 .get(idx)
                 .map(|s| Datum::Str(s.clone()))
@@ -171,7 +182,7 @@ impl Dictionary {
     /// Number of interned strings.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.read().strings.len()
+        self.read_inner().strings.len()
     }
 
     /// `true` iff no strings are interned.
@@ -235,7 +246,11 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let d = Arc::clone(&d);
-                std::thread::spawn(move || (0..100).map(|i| d.encode_str(&format!("s{i}"))).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| d.encode_str(&format!("s{i}")))
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         let results: Vec<Vec<Value>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

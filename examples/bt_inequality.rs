@@ -19,8 +19,7 @@ fn main() {
     for x in 0..k {
         for y in 0..k {
             for z in 0..k {
-                let on_face =
-                    [x, y, z].iter().any(|&c| c == 0 || c == k - 1);
+                let on_face = [x, y, z].iter().any(|&c| c == 0 || c == k - 1);
                 if on_face {
                     rows.push(vec![Value(x), Value(y), Value(z)]);
                 }
@@ -54,9 +53,7 @@ fn main() {
         s.len() * s.len(),
         shadows.iter().map(|r| r.len() as f64).product::<f64>()
     );
-    assert!(s
-        .iter_rows()
-        .all(|row| out.relation.contains_row(row)));
+    assert!(s.iter_rows().all(|row| out.relation.contains_row(row)));
     assert!(bt::inequality_holds(
         out.relation.len(),
         out.d,

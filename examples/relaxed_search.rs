@@ -20,10 +20,7 @@ fn main() {
     // Attributes: person=0, job=1.
     // Three "criteria" relations over (person, job):
     let mk = |pairs: &[(&str, &str)]| {
-        let rows: Vec<Vec<Value>> = pairs
-            .iter()
-            .map(|&(p, j)| vec![enc(p), enc(j)])
-            .collect();
+        let rows: Vec<Vec<Value>> = pairs.iter().map(|&(p, j)| vec![enc(p), enc(j)]).collect();
         Relation::from_rows(Schema::of(&[0, 1]), rows).expect("pairs")
     };
 
@@ -57,10 +54,7 @@ fn main() {
         );
         for row in out.relation.iter_rows() {
             // count which criteria the pair satisfies, for display
-            let agree = rels
-                .iter()
-                .filter(|rel| rel.contains_row(row))
-                .count();
+            let agree = rels.iter().filter(|rel| rel.contains_row(row)).count();
             let p = dict.decode(row[0]).expect("interned");
             let j = dict.decode(row[1]).expect("interned");
             println!("  {p} → {j}  ({agree}/3 criteria)");

@@ -12,6 +12,7 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`core`] (`wcoj-core`) | the NPRR algorithm (§5), the Loomis–Whitney algorithm (§4), arity-≤2 star/cycle joins (§7.1), relaxed joins (§7.2), full CQs + FDs (§7.3), algorithmic BT/LW (§3) |
+//! | [`exec`] (`wcoj-exec`) | the partition-parallel execution engine: root-domain sharding over a worker pool (`par_join`, `ExecConfig`, `Algorithm::NprrParallel`) |
 //! | [`storage`] | relations, relational algebra, the counted-trie search tree |
 //! | [`hypergraph`] | query hypergraphs, fractional covers, AGM bounds, Lemma 3.2 tightening, Lemma 7.2 half-integrality |
 //! | [`lp`] | the two-phase simplex solver (f64 + exact rational) |
@@ -36,17 +37,48 @@
 pub use wcoj_baselines as baselines;
 pub use wcoj_core as core;
 pub use wcoj_datagen as datagen;
+pub use wcoj_exec as exec;
 pub use wcoj_hypergraph as hypergraph;
 pub use wcoj_lp as lp;
 pub use wcoj_query as query;
 pub use wcoj_rational as rational;
 pub use wcoj_storage as storage;
 
-pub use wcoj_core::{agm_cover, join, join_with, Algorithm, JoinOutput, JoinQuery, JoinStats};
+pub use wcoj_core::{agm_cover, Algorithm, JoinOutput, JoinQuery, JoinStats};
+pub use wcoj_exec::{par_join, ExecConfig};
+
+/// Computes the natural join of `relations` with automatic algorithm
+/// selection (see [`wcoj_core::join`]). The facade wrapper additionally
+/// makes sure the partition-parallel engine is installed, so
+/// [`Algorithm::NprrParallel`] is always dispatchable.
+///
+/// # Errors
+/// See [`wcoj_core::join`].
+pub fn join(relations: &[storage::Relation]) -> Result<storage::Relation, wcoj_core::QueryError> {
+    wcoj_exec::install();
+    wcoj_core::join(relations)
+}
+
+/// Computes the natural join with an explicit algorithm and optional
+/// cover (see [`wcoj_core::join_with`]); [`Algorithm::NprrParallel`] runs
+/// on the `wcoj-exec` worker pool.
+///
+/// # Errors
+/// See [`wcoj_core::join_with`].
+pub fn join_with(
+    relations: &[storage::Relation],
+    algorithm: Algorithm,
+    cover: Option<&[f64]>,
+) -> Result<JoinOutput, wcoj_core::QueryError> {
+    wcoj_exec::install();
+    wcoj_core::join_with(relations, algorithm, cover)
+}
 
 /// The names most programs need.
 pub mod prelude {
-    pub use crate::core::{agm_cover, join, join_with, Algorithm, JoinQuery};
+    pub use crate::core::{agm_cover, Algorithm, JoinQuery};
+    pub use crate::exec::{par_join, ExecConfig};
     pub use crate::query::{execute, load_csv, parse_query, Catalog};
     pub use crate::storage::{Attr, Datum, Dictionary, Relation, Schema, Value};
+    pub use crate::{join, join_with};
 }

@@ -4,22 +4,22 @@
 use proptest::prelude::*;
 use wcoj::hypergraph::{agm, cover, Hypergraph};
 use wcoj::prelude::*;
-use wcoj::storage::ops::{
-    difference, intersect, natural_join, project, reorder, semijoin, union,
-};
+use wcoj::storage::ops::{difference, intersect, natural_join, project, reorder, semijoin, union};
 
-fn arb_relation(attrs: &'static [u32], max_rows: usize, dom: u64) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(
-        prop::collection::vec(0..dom, attrs.len()),
-        0..max_rows,
+fn arb_relation(
+    attrs: &'static [u32],
+    max_rows: usize,
+    dom: u64,
+) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(prop::collection::vec(0..dom, attrs.len()), 0..max_rows).prop_map(
+        move |rows| {
+            let vrows: Vec<Vec<Value>> = rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Value).collect())
+                .collect();
+            Relation::from_rows(Schema::of(attrs), vrows).unwrap()
+        },
     )
-    .prop_map(move |rows| {
-        let vrows: Vec<Vec<Value>> = rows
-            .into_iter()
-            .map(|r| r.into_iter().map(Value).collect())
-            .collect();
-        Relation::from_rows(Schema::of(attrs), vrows).unwrap()
-    })
 }
 
 proptest! {

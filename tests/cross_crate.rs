@@ -79,10 +79,7 @@ carol,bob\n";
     let edges = load_csv(csv, catalog.dictionary()).unwrap();
     catalog.insert("follows", edges);
 
-    let q = parse_query(
-        "Mutual(a, b) :- follows(a, b), follows(b, a)",
-    )
-    .unwrap();
+    let q = parse_query("Mutual(a, b) :- follows(a, b), follows(b, a)").unwrap();
     let out = wcoj::query::execute(&q, &catalog).unwrap();
     // bob↔carol both directions
     assert_eq!(out.relation.len(), 2);
@@ -152,18 +149,13 @@ fn cover_lp_agrees_with_hand_computed_bounds() {
     let sizes: Vec<usize> = rels.iter().map(Relation::len).collect();
     let q = JoinQuery::new(&rels).unwrap();
     let sol = q.optimal_cover().unwrap();
-    let expect: f64 = sizes
-        .iter()
-        .map(|&s| (s as f64).ln())
-        .sum::<f64>()
-        / 3.0;
+    let expect: f64 = sizes.iter().map(|&s| (s as f64).ln()).sum::<f64>() / 3.0;
     assert!((sol.log2_bound * std::f64::consts::LN_2 - expect).abs() < 1e-6);
 }
 
 #[test]
 fn agm_module_reachable_through_facade() {
-    let h = wcoj::hypergraph::Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]])
-        .unwrap();
+    let h = wcoj::hypergraph::Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
     let b = agm::best_bound(&h, &[100, 100, 100]).unwrap();
     assert!((b - 1000.0).abs() < 1e-6);
 }

@@ -101,8 +101,9 @@ fn half_integrality_small_graph_sweep() {
     use wcoj::hypergraph::{agm::optimal_cover, half_integral::decompose, Hypergraph};
     // enumerate all connected graphs on 4 vertices (up to our edge-set
     // representation), solve, and decompose
-    let all_pairs: Vec<(usize, usize)> =
-        (0..4).flat_map(|a| (a + 1..4).map(move |b| (a, b))).collect();
+    let all_pairs: Vec<(usize, usize)> = (0..4)
+        .flat_map(|a| (a + 1..4).map(move |b| (a, b)))
+        .collect();
     let mut tested = 0;
     for mask in 1u32..(1 << all_pairs.len()) {
         let edges: Vec<Vec<usize>> = all_pairs

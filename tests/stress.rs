@@ -121,7 +121,11 @@ fn stress_cycles_odd_and_even() {
                 random_rel(&mut rng, &attrs, rows, dom)
             })
             .collect();
-        check(&rels, Algorithm::GraphJoin, &format!("cycle m={m} trial {trial}"));
+        check(
+            &rels,
+            Algorithm::GraphJoin,
+            &format!("cycle m={m} trial {trial}"),
+        );
     }
 }
 
