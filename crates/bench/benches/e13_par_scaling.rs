@@ -20,6 +20,7 @@ fn bench(c: &mut Criterion) {
             let cfg = ExecConfig {
                 threads,
                 shard_min_size: 1,
+                ..ExecConfig::default()
             };
             g.bench_with_input(BenchmarkId::new(*name, threads), &cfg, |b, cfg| {
                 b.iter(|| {

@@ -715,6 +715,7 @@ pub fn e16_par_scaling(quick: bool) -> Vec<Table> {
             let cfg = ExecConfig {
                 threads,
                 shard_min_size: 1,
+                ..ExecConfig::default()
             };
             let (out, secs) = time_secs(|| par_join_prepared(&prepared, None, &cfg).expect("join"));
             let base = *base_secs.get_or_insert(secs);
@@ -731,6 +732,109 @@ pub fn e16_par_scaling(quick: bool) -> Vec<Table> {
                 format!("{:.2}", base / secs.max(1e-12)),
             ]);
         }
+    }
+    vec![t]
+}
+
+/// E17 — shared-pool query service (`wcoj-service`): queries/sec at
+/// 1–64 concurrent submissions of mixed seed-family queries onto one
+/// worker pool, every output verified bit-identical to the sequential
+/// engine. (On a single-core host the qps column is expectedly flat;
+/// the verification still exercises the full scheduler.)
+#[must_use]
+pub fn e17_service_throughput(quick: bool) -> Vec<Table> {
+    use std::sync::Arc;
+    use wcoj_core::nprr::PreparedQuery;
+    use wcoj_exec::ExecConfig;
+    use wcoj_service::{Service, ServiceConfig};
+
+    let mut t = Table::new(
+        "e17",
+        "wcoj-service shared-pool scheduler: mixed-query throughput vs concurrency",
+        &[
+            "concurrency",
+            "queries",
+            "workers",
+            "total_ms",
+            "qps",
+            "identical",
+        ],
+        "qps roughly flat in concurrency (one shared pool, no oversubscription); identical = true",
+    );
+    let size = if quick { 1 } else { 4 };
+    let instances: Vec<(&str, Vec<Relation>)> = vec![
+        ("triangle_hard", gen::example_2_2(64 * size as u64)),
+        ("agm_tight", gen::agm_tight_triangle(4 * size as u64)),
+        ("cycle4", gen::cycle_instance(13, 4, 120 * size, 40)),
+        ("lw4", gen::random_lw(5, 4, 60 * size, 8)),
+        ("figure2", gen::worked_example(7, 40 * size, 6)),
+        (
+            "zipf_triangle",
+            vec![
+                gen::zipf_relation(21, &[0, 1], 150 * size, 30, 1.2),
+                gen::zipf_relation(22, &[1, 2], 150 * size, 30, 1.2),
+                gen::zipf_relation(23, &[0, 2], 150 * size, 30, 1.2),
+            ],
+        ),
+    ];
+    let prepared: Vec<Arc<PreparedQuery>> = instances
+        .iter()
+        .map(|(_, rels)| Arc::new(PreparedQuery::new(rels).expect("well-formed instance")))
+        .collect();
+    let expected: Vec<Relation> = instances
+        .iter()
+        .map(|(_, rels)| {
+            join_with(rels, Algorithm::Nprr, None)
+                .expect("sequential oracle")
+                .relation
+        })
+        .collect();
+
+    let workers = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
+    let service = Arc::new(Service::new(ServiceConfig::with_workers(workers)));
+    let cfg = ExecConfig {
+        shard_min_size: 1,
+        ..service.exec_config()
+    };
+    let levels: &[usize] = if quick { &[1, 4, 16] } else { &[1, 4, 16, 64] };
+    for &concurrency in levels {
+        let queries_per_thread = if quick { 2 } else { 4 };
+        let total = concurrency * queries_per_thread;
+        let all_ok = std::sync::atomic::AtomicBool::new(true);
+        let (_, secs) = time_secs(|| {
+            std::thread::scope(|scope| {
+                for submitter in 0..concurrency {
+                    let service = Arc::clone(&service);
+                    let cfg = cfg.clone();
+                    let prepared = &prepared;
+                    let expected = &expected;
+                    let all_ok = &all_ok;
+                    scope.spawn(move || {
+                        for j in 0..queries_per_thread {
+                            let q = (submitter + j) % prepared.len();
+                            let out = service
+                                .submit(&prepared[q], &cfg)
+                                .expect("submit")
+                                .wait()
+                                .expect("join");
+                            if out.relation != expected[q] {
+                                all_ok.store(false, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+        });
+        let ok = all_ok.load(std::sync::atomic::Ordering::Relaxed);
+        t.row(vec![
+            concurrency.to_string(),
+            total.to_string(),
+            workers.to_string(),
+            ms(secs),
+            format!("{:.0}", total as f64 / secs.max(1e-12)),
+            ok.to_string(),
+        ]);
+        assert!(ok, "service output diverged from sequential");
     }
     vec![t]
 }
@@ -828,5 +932,14 @@ mod tests {
         let t = e16_par_scaling(true);
         // 2 instances × 4 thread counts; outputs agree by construction
         assert_eq!(t[0].rows.len(), 8);
+    }
+    #[test]
+    fn e17_smoke() {
+        let t = e17_service_throughput(true);
+        // 3 concurrency levels; every row verified identical
+        assert_eq!(t[0].rows.len(), 3);
+        for row in &t[0].rows {
+            assert_eq!(row[5], "true");
+        }
     }
 }

@@ -14,10 +14,11 @@ pub mod table;
 pub use table::{time_secs, Table};
 
 /// All experiment ids, in order. E1–E15 regenerate the paper's claims;
-/// E16 records the partition-parallel engine's scaling.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+/// E16 records the partition-parallel engine's scaling, E17 the shared-
+/// pool query service's concurrent throughput.
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by id. `quick` shrinks the sweeps for CI-speed runs.
@@ -43,6 +44,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e14" => experiments::e14_full_cq(),
         "e15" => experiments::e15_tighten(),
         "e16" => experiments::e16_par_scaling(quick),
+        "e17" => experiments::e17_service_throughput(quick),
         other => panic!("unknown experiment id {other}"),
     }
 }

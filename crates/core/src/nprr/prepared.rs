@@ -166,6 +166,52 @@ impl<S: SearchTree> PreparedQuery<S> {
         acc.unwrap_or_default()
     }
 
+    /// Like [`Self::root_candidates`], annotated with a per-candidate
+    /// **work estimate**: `1 +` the sum, over all relations containing the
+    /// root attribute, of the level-1 fanout of the trie node under that
+    /// candidate (its number of distinct one-step extensions, an `O(1)`
+    /// lookup from the precomputed counts). The fanout measures how wide
+    /// the section `R_e[v]` opens up, which is what `Recursive-Join` pays
+    /// for under root binding `v` — a far better cost proxy than "one
+    /// candidate = one unit", which lets a single hot key pin a whole
+    /// shard to one worker (Zipf-skewed data does exactly this).
+    ///
+    /// Candidates appear in the same sorted order as
+    /// [`Self::root_candidates`]; weights are always `≥ 1`.
+    #[must_use]
+    pub fn root_candidate_weights(&self) -> Vec<(Value, u64)> {
+        let candidates = self.root_candidates();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let Some(&root_vertex) = self.order.first() else {
+            return Vec::new();
+        };
+        // Relations containing the root attribute with at least one more
+        // level below it (an arity-1 trie has no level-1 fanout to read).
+        let root_edges: Vec<usize> = self
+            .edge_vertices
+            .iter()
+            .enumerate()
+            .filter(|(_, vs)| vs.first() == Some(&root_vertex) && vs.len() > 1)
+            .map(|(e, _)| e)
+            .collect();
+        candidates
+            .into_iter()
+            .map(|v| {
+                let fanout: u64 = root_edges
+                    .iter()
+                    .map(|&e| {
+                        let trie = &self.tries[e];
+                        trie.descend(trie.root(), v)
+                            .map_or(0, |n| trie.distinct_count(n, 1) as u64)
+                    })
+                    .sum();
+                (v, 1 + fanout)
+            })
+            .collect()
+    }
+
     /// Runs `Recursive-Join` restricted to `shard` (or unrestricted for
     /// `None`), returning raw rows over the total order plus the run's
     /// statistics. Does **not** short-circuit empty inputs or resolve
@@ -357,6 +403,41 @@ mod tests {
         assert_eq!(prepared.total_order()[0], 1);
         // π₁(R) = {1,2,3}, π₁(S) = {2,3,4} → intersection {2,3}
         assert_eq!(prepared.root_candidates(), vec![Value(2), Value(3)]);
+    }
+
+    #[test]
+    fn root_candidate_weights_reflect_fanout() {
+        // Triangle total order is (1, 0, 2); R(0,1) and S(1,2) contain the
+        // root attribute 1. Give root value 2 a much fatter section than
+        // root value 3.
+        let r = Relation::from_u32_rows(
+            Schema::of(&[0, 1]),
+            &[&[10, 2], &[11, 2], &[12, 2], &[13, 2], &[10, 3]],
+        );
+        let s = Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 7], &[2, 8], &[3, 7]]);
+        let t = Relation::from_u32_rows(Schema::of(&[0, 2]), &[&[10, 7]]);
+        let prepared = PreparedQuery::new(&[r, s, t]).unwrap();
+        assert_eq!(prepared.total_order()[0], 1);
+        let weights = prepared.root_candidate_weights();
+        assert_eq!(
+            weights.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+            prepared.root_candidates(),
+            "aligned with root_candidates"
+        );
+        // v=2: 4 extensions in R (reordered trie: 2 → {10,11,12,13}) plus
+        // 2 in S; v=3: 1 in R plus 1 in S. Weight = 1 + fanout.
+        assert_eq!(weights, vec![(Value(2), 7), (Value(3), 3)]);
+        // Hash backend agrees.
+        let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&[
+            Relation::from_u32_rows(
+                Schema::of(&[0, 1]),
+                &[&[10, 2], &[11, 2], &[12, 2], &[13, 2], &[10, 3]],
+            ),
+            Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 7], &[2, 8], &[3, 7]]),
+            Relation::from_u32_rows(Schema::of(&[0, 2]), &[&[10, 7]]),
+        ])
+        .unwrap();
+        assert_eq!(hashed.root_candidate_weights(), weights);
     }
 
     #[test]

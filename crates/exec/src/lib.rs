@@ -18,9 +18,13 @@
 //!    [`SearchTree`] indexes ([`PreparedQuery::root_candidates`]: the
 //!    sorted intersection of root-level values over all relations
 //!    containing the root attribute) and split the candidate list into
-//!    contiguous ranges. The ranges jointly cover the whole value domain,
-//!    so correctness never depends on the candidate computation being
-//!    tight.
+//!    contiguous ranges — by estimated per-candidate *work* (level-1
+//!    fanout, [`ShardSplit::Work`], the default: heavy root values get
+//!    singleton shards) or by plain candidate count
+//!    ([`ShardSplit::Candidates`]). The ranges jointly cover the whole
+//!    value domain, so correctness never depends on the candidate
+//!    computation being tight. The reusable [`ShardPlan`] is also what
+//!    the `wcoj-service` shared-pool scheduler executes.
 //! 2. **Parallel run** — a fixed-size pool of scoped worker threads pulls
 //!    shards off an atomic cursor (cheap work stealing: shards are
 //!    oversplit ~4× relative to the thread count so a skewed shard cannot
@@ -48,6 +52,21 @@ use wcoj_core::nprr::{PreparedQuery, RootShard};
 use wcoj_core::{JoinOutput, JoinQuery, JoinStats, QueryError};
 use wcoj_storage::{Relation, SearchTree, TrieIndex, Value};
 
+/// How the planner carves the root-candidate list into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardSplit {
+    /// Equal *candidate counts* per shard (the original strategy): cheap,
+    /// but a single hot key with a fat section pins a whole worker while
+    /// its siblings idle.
+    Candidates,
+    /// Equal estimated *work* per shard, from the level-1 fanout of the
+    /// prepared indexes ([`PreparedQuery::root_candidate_weights`]): heavy
+    /// root values are split out into their own shards so skew cannot
+    /// serialise the run.
+    #[default]
+    Work,
+}
+
 /// Knobs of the parallel executor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecConfig {
@@ -57,6 +76,8 @@ pub struct ExecConfig {
     /// planner never splits finer than this (oversplitting tiny domains
     /// only buys scheduling overhead).
     pub shard_min_size: usize,
+    /// Shard-sizing strategy (work-based by default).
+    pub split: ShardSplit,
 }
 
 impl Default for ExecConfig {
@@ -64,6 +85,7 @@ impl Default for ExecConfig {
         ExecConfig {
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             shard_min_size: 16,
+            split: ShardSplit::default(),
         }
     }
 }
@@ -78,8 +100,9 @@ impl ExecConfig {
         }
     }
 
-    /// Default config overridden by the `WCOJ_THREADS` and
-    /// `WCOJ_SHARD_MIN_SIZE` environment variables when set — how the
+    /// Default config overridden by the `WCOJ_THREADS`,
+    /// `WCOJ_SHARD_MIN_SIZE`, and `WCOJ_SHARD_SPLIT` (`work`/`candidates`)
+    /// environment variables when set — how the
     /// [`Algorithm::NprrParallel`](wcoj_core::Algorithm::NprrParallel)
     /// dispatch path (which carries no config) is tuned.
     #[must_use]
@@ -90,6 +113,11 @@ impl ExecConfig {
         }
         if let Some(m) = read_env_usize("WCOJ_SHARD_MIN_SIZE") {
             cfg.shard_min_size = m.max(1);
+        }
+        match std::env::var("WCOJ_SHARD_SPLIT").as_deref().map(str::trim) {
+            Ok("candidates") => cfg.split = ShardSplit::Candidates,
+            Ok("work") => cfg.split = ShardSplit::Work,
+            _ => {}
         }
         cfg
     }
@@ -135,6 +163,171 @@ pub fn plan_shards(candidates: &[Value], max_shards: usize, min_size: usize) -> 
         start = end;
     }
     out
+}
+
+/// Work-based shard planning: splits the sorted `(candidate, weight)` list
+/// into contiguous inclusive ranges of roughly equal **total weight**
+/// (each shard targets `⌈Σw / max_shards⌉`), jointly covering the entire
+/// value domain. A *heavy* candidate — one whose weight alone reaches the
+/// target — is isolated into a singleton shard so a hot key never drags
+/// its neighbours onto the same worker (splitting *inside* one root value
+/// needs intra-value parallelism, a planned follow-up). `max_shards` sets
+/// the weight target, not a hard cap: heavy-hitter isolation can emit a
+/// few more, smaller, shards — extra entries for the pool to steal, never
+/// extra parallelism.
+///
+/// Returns an empty plan when there is nothing to split (`≤ 1` shard
+/// requested, or fewer than `2 × min_size` candidates).
+#[must_use]
+pub fn plan_weighted_shards(
+    weights: &[(Value, u64)],
+    max_shards: usize,
+    min_size: usize,
+) -> Vec<RootShard> {
+    let min_size = min_size.max(1);
+    let max_shards = max_shards.min(weights.len() / min_size);
+    if max_shards <= 1 {
+        return Vec::new();
+    }
+    let total: u128 = weights.iter().map(|&(_, w)| u128::from(w)).sum();
+    let target = total.div_ceil(max_shards as u128).max(1);
+
+    // Group boundaries: exclusive end index of each group of candidates.
+    let mut bounds: Vec<usize> = Vec::new();
+    let mut acc: u128 = 0;
+    let mut open = false; // does an unclosed group precede index i?
+    for (i, &(_, w)) in weights.iter().enumerate() {
+        let w = u128::from(w);
+        if w >= target {
+            // Heavy hitter: close the open group, then isolate the key.
+            if open {
+                bounds.push(i);
+            }
+            bounds.push(i + 1);
+            acc = 0;
+            open = false;
+        } else {
+            acc += w;
+            open = true;
+            if acc >= target {
+                bounds.push(i + 1);
+                acc = 0;
+                open = false;
+            }
+        }
+    }
+    if open {
+        bounds.push(weights.len());
+    }
+    if bounds.len() <= 1 {
+        return Vec::new();
+    }
+
+    // Convert candidate groups into gap-free inclusive value ranges: each
+    // shard also owns the gap up to the next group's first candidate, so
+    // the plan covers [0, u64::MAX] no matter how loose the candidates.
+    let mut out = Vec::with_capacity(bounds.len());
+    let mut lo = Value(u64::MIN);
+    for (g, &end) in bounds.iter().enumerate() {
+        let hi = if g + 1 == bounds.len() {
+            Value(u64::MAX)
+        } else {
+            Value(weights[end].0 .0 - 1)
+        };
+        out.push(RootShard { lo, hi });
+        lo = Value(hi.0.wrapping_add(1));
+    }
+    out
+}
+
+/// A planned decomposition of one query into schedulable root-range
+/// shards — the unit both [`par_join`]'s scoped pool and the shared-pool
+/// `wcoj-service` scheduler execute. Built by [`ShardPlan::plan`] from a
+/// preparation; carries the candidate count so callers can distinguish
+/// "domain too small to split" from "**no** root value can produce output"
+/// (the zero-shard case: skip the engine entirely).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: Vec<RootShard>,
+    root_candidates: usize,
+}
+
+impl ShardPlan {
+    /// Plans shards for `prepared` under the given strategy: `max_shards`
+    /// ranges as the sizing target ([`ShardSplit::Work`] may exceed it
+    /// slightly when isolating heavy hitters), never splitting domains
+    /// finer than `min_size` candidates per shard.
+    #[must_use]
+    pub fn plan<S: SearchTree>(
+        prepared: &PreparedQuery<S>,
+        max_shards: usize,
+        min_size: usize,
+        split: ShardSplit,
+    ) -> ShardPlan {
+        let (shards, root_candidates) = match split {
+            ShardSplit::Candidates => {
+                let cands = prepared.root_candidates();
+                (plan_shards(&cands, max_shards, min_size), cands.len())
+            }
+            ShardSplit::Work => {
+                let weights = prepared.root_candidate_weights();
+                (
+                    plan_weighted_shards(&weights, max_shards, min_size),
+                    weights.len(),
+                )
+            }
+        };
+        ShardPlan {
+            shards,
+            root_candidates,
+        }
+    }
+
+    /// The planned ranges (empty for degenerate single-run plans).
+    #[must_use]
+    pub fn shards(&self) -> &[RootShard] {
+        &self.shards
+    }
+
+    /// Number of planned shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` iff the plan has no shards (degenerate: run unrestricted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Number of root-candidate values the planner saw.
+    #[must_use]
+    pub fn root_candidates(&self) -> usize {
+        self.root_candidates
+    }
+
+    /// `true` iff no root value can produce output for a non-nullary
+    /// query: the candidate intersection is empty, so the join is empty
+    /// and needs **zero** shard tasks (nullary queries have no root
+    /// attribute and are excluded — they still need their single run).
+    #[must_use]
+    pub fn root_domain_is_empty<S: SearchTree>(&self, prepared: &PreparedQuery<S>) -> bool {
+        self.root_candidates == 0 && !prepared.total_order().is_empty()
+    }
+
+    /// The schedulable task list: one entry per shard, or a single
+    /// unrestricted task (`None`) when the plan is degenerate. Callers
+    /// must check [`Self::root_domain_is_empty`] first — a zero-output
+    /// query needs no tasks at all.
+    #[must_use]
+    pub fn tasks(&self) -> Vec<Option<RootShard>> {
+        if self.shards.len() <= 1 {
+            vec![None]
+        } else {
+            self.shards.iter().copied().map(Some).collect()
+        }
+    }
 }
 
 /// Evaluates the natural join of `relations` on a worker pool, with the
@@ -190,6 +383,10 @@ where
     Ok(par_run(prepared, &x, log2_bound, cfg))
 }
 
+/// Shards planned per worker: oversplitting keeps a pool busy when value
+/// ranges carry skewed amounts of work even after work-based sizing.
+pub const OVERSPLIT: usize = 4;
+
 /// The pool run: plan shards, fan out, merge. Infallible once the cover
 /// is resolved.
 fn par_run<S>(
@@ -201,20 +398,31 @@ fn par_run<S>(
 where
     S: SearchTree + Sync,
 {
-    // ~4× oversplit keeps the pool busy when value ranges carry skewed
-    // amounts of work; the atomic cursor below is the (trivial) stealing.
-    let max_shards = cfg.threads.max(1) * 4;
-    let shards = if cfg.threads > 1 {
-        plan_shards(&prepared.root_candidates(), max_shards, cfg.shard_min_size)
-    } else {
-        Vec::new()
-    };
-
     let mut stats = JoinStats {
         algorithm_used: "nprr-parallel",
         log2_agm_bound: log2_bound,
         cover: x.to_vec(),
         ..JoinStats::default()
+    };
+
+    let shards = if cfg.threads > 1 {
+        let plan = ShardPlan::plan(
+            prepared,
+            cfg.threads * OVERSPLIT,
+            cfg.shard_min_size,
+            cfg.split,
+        );
+        if plan.root_domain_is_empty(prepared) {
+            // Zero-shard plan: no root value survives the level-0
+            // intersection, so the join is empty — return without running
+            // the engine or spawning a single worker.
+            return prepared
+                .assemble(Vec::new(), stats)
+                .expect("empty rows assemble");
+        }
+        plan.shards
+    } else {
+        Vec::new()
     };
 
     if shards.len() <= 1 {
@@ -311,6 +519,102 @@ mod tests {
     }
 
     #[test]
+    fn weighted_plan_balances_work_and_isolates_heavy_keys() {
+        // 9 unit-weight candidates plus one hot key carrying most of the
+        // total work.
+        let mut weights: Vec<(Value, u64)> = (0..10u64).map(|i| (Value(i * 2), 1)).collect();
+        weights[4].1 = 100; // Value(8) is the heavy hitter
+        let plan = plan_weighted_shards(&weights, 4, 1);
+        assert!(plan.len() >= 3, "hot key plus its flanks: {plan:?}");
+        // covering and gap-free
+        assert_eq!(plan[0].lo, Value(0));
+        assert_eq!(plan.last().unwrap().hi, Value(u64::MAX));
+        for w in plan.windows(2) {
+            assert_eq!(w[1].lo.0, w[0].hi.0 + 1, "gap-free");
+        }
+        // the heavy candidate sits alone in its shard
+        let hot = plan
+            .iter()
+            .find(|s| s.contains(Value(8)))
+            .expect("some shard owns the hot key");
+        let owned: Vec<Value> = weights
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|&v| hot.contains(v))
+            .collect();
+        assert_eq!(owned, vec![Value(8)], "hot key isolated: {plan:?}");
+
+        // uniform weights ≈ count-based chunks
+        let uniform: Vec<(Value, u64)> = (0..40u64).map(|i| (Value(i), 1)).collect();
+        let plan = plan_weighted_shards(&uniform, 4, 1);
+        assert_eq!(plan.len(), 4);
+
+        // degenerate inputs
+        assert!(plan_weighted_shards(&[], 4, 1).is_empty());
+        assert!(plan_weighted_shards(&uniform, 1, 1).is_empty());
+        assert!(plan_weighted_shards(&uniform, 4, 30).is_empty());
+    }
+
+    #[test]
+    fn both_split_strategies_match_sequential_on_skew() {
+        // Zipf-skewed triangle: the work-based plan differs materially
+        // from the count-based one, output must not.
+        let rels = [
+            wcoj_datagen::zipf_relation(77, &[0, 1], 200, 24, 1.3),
+            wcoj_datagen::zipf_relation(78, &[1, 2], 200, 24, 1.3),
+            wcoj_datagen::zipf_relation(79, &[0, 2], 200, 24, 1.3),
+        ];
+        for split in [ShardSplit::Candidates, ShardSplit::Work] {
+            let cfg = ExecConfig {
+                threads: 4,
+                shard_min_size: 1,
+                split,
+            };
+            assert_matches_sequential(&rels, &cfg, &format!("skewed triangle {split:?}"));
+        }
+    }
+
+    #[test]
+    fn empty_root_domain_returns_zero_shard_plan() {
+        // Triangle whose root attribute (1) has a non-trivial domain in
+        // each relation but an empty intersection: π₁(R) = {1,2,3},
+        // π₁(S) = {7,8,9} → no candidate survives, the join is empty, and
+        // the parallel path returns without running the engine.
+        let r = rel(&[0, 1], &[&[10, 1], &[10, 2], &[11, 3]]);
+        let s = rel(&[1, 2], &[&[7, 20], &[8, 20], &[9, 21]]);
+        let t = rel(&[0, 2], &[&[10, 20], &[11, 21]]);
+        let rels = [r, s, t];
+        let prepared = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
+        for split in [ShardSplit::Candidates, ShardSplit::Work] {
+            let plan = ShardPlan::plan(&prepared, 16, 1, split);
+            assert_eq!(plan.root_candidates(), 0, "{split:?}");
+            assert!(plan.root_domain_is_empty(&prepared), "{split:?}");
+            let cfg = ExecConfig {
+                threads: 4,
+                shard_min_size: 1,
+                split,
+            };
+            let out = par_join(&rels, &cfg).unwrap();
+            assert!(out.relation.is_empty(), "{split:?}");
+            assert_eq!(out.relation.arity(), 3, "{split:?}");
+            assert_eq!(out.stats.shards, 0, "no shard ever ran: {split:?}");
+            assert_eq!(out.stats.case_a + out.stats.case_b, 0, "{split:?}");
+            // matches the sequential engine bit for bit
+            assert_matches_sequential(&rels, &cfg, &format!("empty domain {split:?}"));
+        }
+        // a populated query is NOT a zero-shard plan
+        let populated = PreparedQuery::<TrieIndex>::new_indexed(&[
+            rel(&[0, 1], &[&[1, 2], &[1, 3]]),
+            rel(&[1, 2], &[&[2, 4], &[3, 4]]),
+            rel(&[0, 2], &[&[1, 4]]),
+        ])
+        .unwrap();
+        let plan = ShardPlan::plan(&populated, 16, 1, ShardSplit::Work);
+        assert!(!plan.root_domain_is_empty(&populated));
+        assert_eq!(plan.tasks().len(), plan.len().max(1));
+    }
+
+    #[test]
     fn triangle_matches_sequential_across_thread_counts() {
         let rels = [
             wcoj_datagen::random_relation(1, &[0, 1], 120, 12),
@@ -321,6 +625,7 @@ mod tests {
             let cfg = ExecConfig {
                 threads,
                 shard_min_size: 1,
+                ..ExecConfig::default()
             };
             assert_matches_sequential(&rels, &cfg, &format!("triangle t={threads}"));
         }
@@ -331,6 +636,7 @@ mod tests {
         let cfg = ExecConfig {
             threads: 4,
             shard_min_size: 1,
+            ..ExecConfig::default()
         };
         // Example 2.2: the adversarial empty-output triangle.
         assert_matches_sequential(&wcoj_datagen::example_2_2(64), &cfg, "example 2.2");
@@ -349,6 +655,7 @@ mod tests {
         let cfg = ExecConfig {
             threads: 4,
             shard_min_size: 1,
+            ..ExecConfig::default()
         };
         // single relation
         assert_matches_sequential(&[rel(&[0, 1], &[&[1, 2], &[3, 4]])], &cfg, "single");
@@ -396,6 +703,7 @@ mod tests {
             let cfg = ExecConfig {
                 threads,
                 shard_min_size: 1,
+                ..ExecConfig::default()
             };
             let a = par_join_prepared(&sorted, None, &cfg).unwrap();
             let b = par_join_prepared(&hashed, None, &cfg).unwrap();
@@ -419,6 +727,7 @@ mod tests {
             &ExecConfig {
                 threads: 4,
                 shard_min_size: 1,
+                ..ExecConfig::default()
             },
         )
         .unwrap();

@@ -61,7 +61,7 @@ proptest! {
         let sorted = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
         let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).unwrap();
         for threads in [1usize, 2, 4, 8] {
-            let cfg = ExecConfig { threads, shard_min_size: 1 };
+            let cfg = ExecConfig { threads, shard_min_size: 1, ..ExecConfig::default() };
             let a = par_join_prepared(&sorted, None, &cfg).unwrap();
             prop_assert_eq!(
                 sorted_rows(&a.relation), expect.clone(),
@@ -88,7 +88,7 @@ proptest! {
         let q = JoinQuery::new(&rels).unwrap();
         let sol = q.optimal_cover().unwrap();
         let seq = wcoj_core::nprr::join_nprr(&q, &sol.x, sol.log2_bound).unwrap();
-        let par = wcoj_exec::par_join(&rels, &ExecConfig { threads: 4, shard_min_size: 1 }).unwrap();
+        let par = wcoj_exec::par_join(&rels, &ExecConfig { threads: 4, shard_min_size: 1, ..ExecConfig::default() }).unwrap();
         prop_assert_eq!(sorted_rows(&par.relation), sorted_rows(&seq.relation));
     }
 }

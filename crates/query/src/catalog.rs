@@ -3,17 +3,20 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wcoj_exec::ExecConfig;
+use wcoj_service::Service;
 use wcoj_storage::{Datum, Dictionary, Relation};
 
 /// A catalog: named relations sharing one [`Dictionary`] so string values
 /// compare consistently across relations, plus the catalog-level execution
 /// configuration (sequential by default; opt in to the partition-parallel
-/// engine with [`Catalog::set_parallel`]).
+/// engine with [`Catalog::set_parallel`], or route every query through a
+/// process-wide shared worker pool with [`Catalog::set_service`]).
 #[derive(Clone)]
 pub struct Catalog {
     dict: Arc<Dictionary>,
     relations: BTreeMap<String, Relation>,
     parallel: Option<ExecConfig>,
+    service: Option<Arc<Service>>,
 }
 
 impl Default for Catalog {
@@ -30,6 +33,7 @@ impl Catalog {
             dict: Arc::new(Dictionary::new()),
             relations: BTreeMap::new(),
             parallel: None,
+            service: None,
         }
     }
 
@@ -44,6 +48,21 @@ impl Catalog {
     #[must_use]
     pub fn parallel(&self) -> Option<&ExecConfig> {
         self.parallel.as_ref()
+    }
+
+    /// Routes every query executed against this catalog — text queries
+    /// and whole Datalog programs alike — through `service`'s shared
+    /// worker pool (`None` reverts). Takes precedence over
+    /// [`Catalog::set_parallel`]: the service owns process-wide
+    /// parallelism, the per-call engine would fight it for cores.
+    pub fn set_service(&mut self, service: Option<Arc<Service>>) {
+        self.service = service;
+    }
+
+    /// The shared query service this catalog routes through, if any.
+    #[must_use]
+    pub fn service(&self) -> Option<&Arc<Service>> {
+        self.service.as_ref()
     }
 
     /// The shared dictionary (encode constants through this).

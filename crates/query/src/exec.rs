@@ -89,17 +89,23 @@ pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryT
         })
         .collect::<Result<_, _>>()?;
 
-    // §7.3 reduction, then the worst-case-optimal join — on the
-    // partition-parallel engine when the catalog opted in.
+    // §7.3 reduction, then the worst-case-optimal join — scheduled on the
+    // shared-pool service when one is attached, on the per-call
+    // partition-parallel engine when the catalog opted in, sequentially
+    // otherwise.
     let reduced = wcoj_core::fullcq::reduce_all(&subgoals)
         .map_err(|e| QueryTextError::Eval(e.to_string()))?;
-    let full = match catalog.parallel() {
-        Some(cfg) => {
-            wcoj_exec::par_join(&reduced, cfg)
-                .map_err(|e| QueryTextError::Eval(e.to_string()))?
-                .relation
-        }
-        None => wcoj_core::join(&reduced).map_err(|e| QueryTextError::Eval(e.to_string()))?,
+    let full = if let Some(service) = catalog.service() {
+        service
+            .join(&reduced)
+            .map_err(|e| QueryTextError::Eval(e.to_string()))?
+            .relation
+    } else if let Some(cfg) = catalog.parallel() {
+        wcoj_exec::par_join(&reduced, cfg)
+            .map_err(|e| QueryTextError::Eval(e.to_string()))?
+            .relation
+    } else {
+        wcoj_core::join(&reduced).map_err(|e| QueryTextError::Eval(e.to_string()))?
     };
 
     // Project onto the head (identity for full queries).
@@ -218,11 +224,34 @@ mod tests {
             c.set_parallel(Some(wcoj_exec::ExecConfig {
                 threads,
                 shard_min_size: 1,
+                ..wcoj_exec::ExecConfig::default()
             }));
             let par = execute(&q, &c).unwrap();
             assert_eq!(par.relation, seq.relation, "{threads} threads");
             assert_eq!(par.columns, seq.columns);
         }
+        c.set_parallel(None);
+        assert_eq!(execute(&q, &c).unwrap().relation, seq.relation);
+    }
+
+    #[test]
+    fn service_catalog_matches_sequential_and_wins_over_parallel() {
+        use std::sync::Arc;
+        use wcoj_service::{Service, ServiceConfig};
+        let mut c = catalog_with_triangle();
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let seq = execute(&q, &c).unwrap();
+        let service = Arc::new(Service::new(ServiceConfig::with_workers(3)));
+        // service set alongside parallel: the service takes precedence
+        c.set_parallel(Some(wcoj_exec::ExecConfig::with_threads(2)));
+        c.set_service(Some(Arc::clone(&service)));
+        for _ in 0..4 {
+            let out = execute(&q, &c).unwrap();
+            assert_eq!(out.relation, seq.relation);
+            assert_eq!(out.columns, seq.columns);
+        }
+        assert_eq!(service.submitted(), 4, "all queries routed to the pool");
+        c.set_service(None);
         c.set_parallel(None);
         assert_eq!(execute(&q, &c).unwrap().relation, seq.relation);
     }

@@ -1,0 +1,629 @@
+//! # wcoj-service — shared-pool concurrent query scheduler
+//!
+//! `wcoj-exec` parallelises a *single* join by sharding the root domain
+//! of `Recursive-Join` (paper §5.2, step 2a) over a scoped thread pool —
+//! but every `par_join` call spins up its **own** pool, so a process
+//! answering many concurrent queries oversubscribes the machine and loses
+//! the worst-case-optimal runtime guarantees to scheduling noise.
+//!
+//! This crate is the long-lived alternative: a [`Service`] owns **one**
+//! global worker pool for the whole process, and schedules shard tasks
+//! from *many* in-flight queries on it.
+//!
+//! * [`Service::submit`] plans a prepared query's shards with the
+//!   work-based splitter ([`ShardPlan::plan`] over
+//!   [`PreparedQuery::root_candidate_weights`]: heavy root values get
+//!   singleton shards so one hot key cannot pin a worker), pushes one
+//!   task per shard onto the shared injector queue, and returns a
+//!   [`QueryHandle`] immediately — submission never blocks on other
+//!   queries.
+//! * Workers pull tasks FIFO off the injector, so shards of concurrent
+//!   queries interleave freely; each task runs the sequential engine
+//!   restricted to its root range ([`PreparedQuery::run_shard`]) against
+//!   the query's shared, immutable indexes.
+//! * [`QueryHandle::wait`] blocks until the query's last shard lands,
+//!   then reassembles per-shard row sets **in shard (= root-value) order**
+//!   and folds per-shard [`JoinStats`] with [`JoinStats::absorb`] — the
+//!   output relation is bit-identical to the sequential
+//!   [`join_nprr`](wcoj_core::nprr::join_nprr), no matter how the pool
+//!   interleaved the shards.
+//!
+//! Degenerate queries never touch the pool: an empty input relation or an
+//! empty root-candidate intersection (a *zero-shard plan*) resolves to a
+//! finished handle at submit time.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wcoj_core::nprr::PreparedQuery;
+//! use wcoj_service::{Service, ServiceConfig};
+//! use wcoj_storage::{Relation, Schema};
+//!
+//! let service = Service::new(ServiceConfig::with_workers(4));
+//! let r = Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2], &[1, 3]]);
+//! let s = Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 4], &[3, 4]]);
+//! let t = Relation::from_u32_rows(Schema::of(&[0, 2]), &[&[1, 4]]);
+//! let prepared = Arc::new(PreparedQuery::new(&[r, s, t]).unwrap());
+//! let handle = service.submit(&prepared, &service.exec_config()).unwrap();
+//! assert_eq!(handle.wait().unwrap().relation.len(), 2);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use wcoj_core::nprr::{PreparedQuery, RootShard};
+use wcoj_core::{JoinOutput, JoinStats, QueryError};
+use wcoj_exec::{ExecConfig, ShardPlan, OVERSPLIT};
+use wcoj_storage::{Relation, SearchTree, TrieIndex, Value};
+
+/// Stats label reported by service-scheduled runs.
+const ALGORITHM: &str = "nprr-service";
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads in the shared pool (clamped to ≥ 1). Unlike
+    /// `par_join`, this bounds the parallelism of the whole process, not
+    /// of one query.
+    pub workers: usize,
+    /// Default per-query planning knobs handed to queries routed through
+    /// [`Service::join`] (and recommended for [`Service::submit`] via
+    /// [`Service::exec_config`]). The `threads` field is ignored — pool
+    /// size is a service-level decision; `shard_min_size` and `split`
+    /// steer the per-query [`ShardPlan`].
+    pub exec: ExecConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with `workers` pool threads and default planning knobs.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers: workers.max(1),
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// A schedulable unit: one shard of one query.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the submitting thread and the pool workers.
+struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    task_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Injector {
+    fn push(&self, task: Task) {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(task);
+        self.task_ready.notify_one();
+    }
+
+    /// Worker side: next task, or `None` once shut down *and* drained
+    /// (pending queries always finish, so handles never dangle).
+    fn pop(&self) -> Option<Task> {
+        let mut queue = self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(task) = queue.pop_front() {
+                return Some(task);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self
+                .task_ready
+                .wait(queue)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// One shard's result: raw rows over the total order plus run stats.
+type ShardResult = (Vec<Vec<Value>>, JoinStats);
+
+/// Per-query completion state: one slot per shard, filled by workers in
+/// whatever order the pool interleaves them; reassembly reads the slots
+/// in index (= root-value) order, which is what makes the merge
+/// deterministic.
+struct JobState {
+    slots: Mutex<Vec<Option<ShardResult>>>,
+    remaining: AtomicUsize,
+    /// A worker panicked while running one of this query's shards.
+    poisoned: AtomicBool,
+    done: Mutex<bool>,
+    done_ready: Condvar,
+}
+
+impl JobState {
+    fn new(shards: usize) -> JobState {
+        JobState {
+            slots: Mutex::new(vec![None; shards]),
+            remaining: AtomicUsize::new(shards),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_ready: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, index: usize, result: Option<ShardResult>) {
+        if let Some(result) = result {
+            self.slots
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)[index] = Some(result);
+        } else {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self
+                .done
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *done = true;
+            self.done_ready.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*done {
+            done = self
+                .done_ready
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// The future of a submitted query. [`wait`](QueryHandle::wait) blocks
+/// until every shard has run on the pool and returns the reassembled
+/// output; dropping the handle abandons the result (the shards still
+/// run, but their rows are discarded).
+pub struct QueryHandle {
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    /// Resolved at submit time (empty input, zero-shard plan).
+    Ready(Result<JoinOutput, QueryError>),
+    /// Waits on the pool, then assembles.
+    Pending(Box<dyn FnOnce() -> Result<JoinOutput, QueryError> + Send>),
+}
+
+impl QueryHandle {
+    fn ready(result: Result<JoinOutput, QueryError>) -> QueryHandle {
+        QueryHandle {
+            inner: HandleInner::Ready(result),
+        }
+    }
+
+    /// Blocks until the query finishes; returns its output.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    ///
+    /// # Panics
+    /// If a pool worker panicked while running one of this query's shards
+    /// (the panic is re-raised here instead of deadlocking the caller).
+    pub fn wait(self) -> Result<JoinOutput, QueryError> {
+        match self.inner {
+            HandleInner::Ready(result) => result,
+            HandleInner::Pending(wait_fn) => wait_fn(),
+        }
+    }
+}
+
+/// A long-lived executor owning one global worker pool; queries from any
+/// thread share it. See the crate docs for the scheduling model.
+pub struct Service {
+    injector: Arc<Injector>,
+    workers: Vec<JoinHandle<()>>,
+    cfg: ServiceConfig,
+    submitted: AtomicU64,
+}
+
+impl Service {
+    /// Spawns the worker pool.
+    #[must_use]
+    pub fn new(cfg: ServiceConfig) -> Service {
+        let cfg = ServiceConfig {
+            workers: cfg.workers.max(1),
+            ..cfg
+        };
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            task_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let injector = Arc::clone(&injector);
+                std::thread::Builder::new()
+                    .name(format!("wcoj-service-{i}"))
+                    .spawn(move || {
+                        while let Some(task) = injector.pop() {
+                            // A panicking shard must not take the worker
+                            // down with it: the task itself reports the
+                            // failure to its job, the pool keeps serving
+                            // the other queries.
+                            let _ = catch_unwind(AssertUnwindSafe(task));
+                        }
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            injector,
+            workers,
+            cfg,
+            submitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pool workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queries submitted over the service's lifetime.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// The service's default per-query planning config (its `threads`
+    /// field is ignored by [`submit`](Service::submit)).
+    #[must_use]
+    pub fn exec_config(&self) -> ExecConfig {
+        self.cfg.exec.clone()
+    }
+
+    /// The shard layout [`submit`](Service::submit) would schedule for
+    /// `prepared` on this service: the planned ranges, or a single
+    /// unrestricted task for degenerate plans. Empty exactly when the
+    /// query is a zero-shard plan (deterministic, so differential tests
+    /// can re-run the layout shard by shard).
+    #[must_use]
+    pub fn shard_layout<S: SearchTree>(
+        &self,
+        prepared: &PreparedQuery<S>,
+        cfg: &ExecConfig,
+    ) -> Vec<Option<RootShard>> {
+        let plan = ShardPlan::plan(
+            prepared,
+            self.workers.len() * OVERSPLIT,
+            cfg.shard_min_size,
+            cfg.split,
+        );
+        if plan.root_domain_is_empty(prepared) {
+            Vec::new()
+        } else {
+            plan.tasks()
+        }
+    }
+
+    /// Submits a prepared query with the LP-optimal fractional cover.
+    /// Returns immediately; the shards run on the shared pool.
+    ///
+    /// # Errors
+    /// LP errors from solving for the optimal cover.
+    pub fn submit<S>(
+        &self,
+        prepared: &Arc<PreparedQuery<S>>,
+        cfg: &ExecConfig,
+    ) -> Result<QueryHandle, QueryError>
+    where
+        S: SearchTree + Send + Sync + 'static,
+    {
+        self.submit_with_cover(prepared, None, cfg)
+    }
+
+    /// Like [`submit`](Service::submit) with an explicit fractional cover
+    /// (validated; one weight per relation in input order).
+    ///
+    /// # Errors
+    /// [`QueryError::BadCover`] for invalid covers; LP errors when
+    /// solving for the optimum.
+    pub fn submit_with_cover<S>(
+        &self,
+        prepared: &Arc<PreparedQuery<S>>,
+        cover: Option<&[f64]>,
+        cfg: &ExecConfig,
+    ) -> Result<QueryHandle, QueryError>
+    where
+        S: SearchTree + Send + Sync + 'static,
+    {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let base_stats = |log2_bound: f64, x: &[f64]| JoinStats {
+            algorithm_used: ALGORITHM,
+            log2_agm_bound: log2_bound,
+            cover: x.to_vec(),
+            ..JoinStats::default()
+        };
+
+        // Degenerate inputs resolve immediately — no tasks, no workers.
+        if prepared.query().relations().iter().any(Relation::is_empty) {
+            return Ok(QueryHandle::ready(Ok(JoinOutput {
+                relation: Relation::empty(prepared.query().output_schema()),
+                stats: base_stats(0.0, &[]),
+            })));
+        }
+        let (x, log2_bound) = prepared.resolve_cover(cover)?;
+
+        let tasks = self.shard_layout(&**prepared, cfg);
+        if tasks.is_empty() {
+            // Zero-shard plan: no root value survives the level-0
+            // intersection, the output is empty.
+            return Ok(QueryHandle::ready(
+                prepared.assemble(Vec::new(), base_stats(log2_bound, &x)),
+            ));
+        }
+
+        let state = Arc::new(JobState::new(tasks.len()));
+        for (i, shard) in tasks.into_iter().enumerate() {
+            let prepared = Arc::clone(prepared);
+            let state = Arc::clone(&state);
+            let x = x.clone();
+            self.injector.push(Box::new(move || {
+                // Report a panic to the job before re-raising, so wait()
+                // fails loudly instead of blocking forever.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    prepared.run_shard(&x, log2_bound, shard)
+                }));
+                match result {
+                    Ok(rows_stats) => state.complete(i, Some(rows_stats)),
+                    Err(payload) => {
+                        state.complete(i, None);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }));
+        }
+
+        let prepared = Arc::clone(prepared);
+        let stats = base_stats(log2_bound, &x);
+        Ok(QueryHandle {
+            inner: HandleInner::Pending(Box::new(move || {
+                state.wait();
+                assert!(
+                    !state.poisoned.load(Ordering::Acquire),
+                    "a service worker panicked while running a shard of this query"
+                );
+                let mut slots = state
+                    .slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let mut stats = stats;
+                let mut rows = Vec::with_capacity(
+                    slots
+                        .iter()
+                        .map(|s| s.as_ref().map_or(0, |(r, _)| r.len()))
+                        .sum(),
+                );
+                // Deterministic merge: slot (= shard = root-value) order,
+                // regardless of the order the pool finished them in.
+                for slot in slots.iter_mut() {
+                    let (shard_rows, shard_stats) = slot.take().expect("every shard completed");
+                    rows.extend(shard_rows);
+                    stats.absorb(&shard_stats);
+                }
+                drop(slots);
+                prepared.assemble(rows, stats)
+            })),
+        })
+    }
+
+    /// One-shot convenience: prepare `relations` with the default sorted
+    /// trie backend, submit with the service's default planning config,
+    /// and wait. This is the entry point `wcoj-query` routes catalog
+    /// queries through.
+    ///
+    /// # Errors
+    /// Same as [`PreparedQuery::new_indexed`] plus evaluation errors.
+    pub fn join(&self, relations: &[Relation]) -> Result<JoinOutput, QueryError> {
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(relations)?);
+        self.submit(&prepared, &self.cfg.exec)?.wait()
+    }
+}
+
+impl Drop for Service {
+    /// Graceful shutdown: workers drain the queue (so outstanding
+    /// handles still resolve), then exit and are joined.
+    fn drop(&mut self) {
+        {
+            // Set the flag while holding the queue mutex: a worker is
+            // then either before its shutdown check (and will see the
+            // flag) or already parked in wait() (and will get the
+            // notification) — never in between, which would lose the
+            // wakeup and deadlock the join below.
+            let _queue = self
+                .injector
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.injector.shutdown.store(true, Ordering::Release);
+        }
+        self.injector.task_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_core::{join_with, Algorithm};
+    use wcoj_storage::{HashTrieIndex, Schema};
+
+    fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
+        Relation::from_u32_rows(Schema::of(schema), rows)
+    }
+
+    fn triangle() -> Vec<Relation> {
+        vec![
+            rel(&[0, 1], &[&[1, 2], &[1, 3]]),
+            rel(&[1, 2], &[&[2, 4], &[3, 4]]),
+            rel(&[0, 2], &[&[1, 4]]),
+        ]
+    }
+
+    #[test]
+    fn submit_and_wait_matches_sequential() {
+        let service = Service::new(ServiceConfig::with_workers(3));
+        let rels = [
+            wcoj_datagen::random_relation(1, &[0, 1], 120, 12),
+            wcoj_datagen::random_relation(2, &[1, 2], 120, 12),
+            wcoj_datagen::random_relation(3, &[0, 2], 120, 12),
+        ];
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let out = service.submit(&prepared, &cfg).unwrap().wait().unwrap();
+        assert_eq!(out.relation, seq.relation);
+        assert_eq!(out.stats.algorithm_used, "nprr-service");
+        assert!(out.stats.shards >= 1);
+        assert_eq!(service.submitted(), 1);
+    }
+
+    #[test]
+    fn many_handles_in_flight_before_any_wait() {
+        let service = Service::new(ServiceConfig::with_workers(2));
+        let rels = triangle();
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let handles: Vec<QueryHandle> = (0..16)
+            .map(|_| service.submit(&prepared, &cfg).unwrap())
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().relation, seq.relation);
+        }
+        assert_eq!(service.submitted(), 16);
+    }
+
+    #[test]
+    fn hash_backend_through_the_pool() {
+        let service = Service::new(ServiceConfig::with_workers(4));
+        let rels = triangle();
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let prepared = Arc::new(PreparedQuery::<HashTrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let out = service.submit(&prepared, &cfg).unwrap().wait().unwrap();
+        assert_eq!(out.relation, seq.relation);
+    }
+
+    #[test]
+    fn empty_input_and_zero_shard_resolve_at_submit() {
+        let service = Service::new(ServiceConfig::with_workers(2));
+        // all-empty / one-empty relation
+        let prepared = Arc::new(
+            PreparedQuery::<TrieIndex>::new_indexed(&[
+                rel(&[0, 1], &[&[1, 2]]),
+                Relation::empty(Schema::of(&[1, 2])),
+            ])
+            .unwrap(),
+        );
+        let out = service
+            .submit(&prepared, &service.exec_config())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(out.relation.is_empty());
+        assert_eq!(out.relation.arity(), 3);
+        assert_eq!(out.stats.shards, 0);
+
+        // empty root-candidate intersection (zero-shard plan)
+        let prepared = Arc::new(
+            PreparedQuery::<TrieIndex>::new_indexed(&[
+                rel(&[0, 1], &[&[10, 1], &[10, 2]]),
+                rel(&[1, 2], &[&[7, 20], &[8, 20]]),
+                rel(&[0, 2], &[&[10, 20]]),
+            ])
+            .unwrap(),
+        );
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        assert!(service.shard_layout(&*prepared, &cfg).is_empty());
+        let out = service.submit(&prepared, &cfg).unwrap().wait().unwrap();
+        assert!(out.relation.is_empty());
+        assert_eq!(out.relation.arity(), 3);
+        assert_eq!(out.stats.shards, 0, "no shard task was ever scheduled");
+        assert_eq!(out.stats.case_a + out.stats.case_b, 0);
+
+        // nullary queries still produce their single "true" row
+        let prepared =
+            Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&[Relation::nullary_true()]).unwrap());
+        let out = service.submit(&prepared, &cfg).unwrap().wait().unwrap();
+        assert_eq!(out.relation.len(), 1);
+        assert_eq!(out.relation.arity(), 0);
+    }
+
+    #[test]
+    fn bad_cover_rejected_at_submit() {
+        let service = Service::new(ServiceConfig::with_workers(2));
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&triangle()).unwrap());
+        let err =
+            service.submit_with_cover(&prepared, Some(&[0.1, 0.1, 0.1]), &ExecConfig::default());
+        assert!(err.is_err());
+        // explicit valid cover works
+        let out = service
+            .submit_with_cover(&prepared, Some(&[1.0, 1.0, 1.0]), &ExecConfig::default())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out.relation.len(), 2);
+    }
+
+    #[test]
+    fn join_convenience_and_drop_drains() {
+        let seq = join_with(&triangle(), Algorithm::Nprr, None).unwrap();
+        let handle;
+        {
+            let service = Service::new(ServiceConfig::with_workers(2));
+            let out = service.join(&triangle()).unwrap();
+            assert_eq!(out.relation, seq.relation);
+            // a handle may outlive the service: drop drains the queue
+            let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&triangle()).unwrap());
+            let cfg = ExecConfig {
+                shard_min_size: 1,
+                ..ExecConfig::default()
+            };
+            handle = service.submit(&prepared, &cfg).unwrap();
+        } // service dropped here
+        assert_eq!(handle.wait().unwrap().relation, seq.relation);
+    }
+}

@@ -28,6 +28,7 @@ fn main() {
         let cfg = ExecConfig {
             threads,
             shard_min_size: 1,
+            ..ExecConfig::default()
         };
         let start = Instant::now();
         let out = par_join(&rels, &cfg).expect("well-formed query");
