@@ -839,6 +839,104 @@ pub fn e17_service_throughput(quick: bool) -> Vec<Table> {
     vec![t]
 }
 
+/// E18 — intra-value parallelism (`wcoj-exec` anchor sub-shards): a
+/// single-hot-key workload — one root value carrying ≥ 90% of the
+/// estimated work — at 1/2/4/8 worker threads, with the heavy-value
+/// splitter on (default) and off (`heavy_split_factor = 0`, singleton
+/// isolation only). Reports the task count, how many tasks are anchor
+/// sub-shards, and wall-clock speedup over the 1-thread run; outputs are
+/// verified identical across all configurations. (On a single-core host
+/// the speedup column is expectedly ≈ 1.)
+#[must_use]
+pub fn e18_heavy_key_scaling(quick: bool) -> Vec<Table> {
+    use wcoj_core::nprr::PreparedQuery;
+    use wcoj_exec::{par_join_prepared, ExecConfig, ShardPlan, OVERSPLIT};
+    let mut t = Table::new(
+        "e18",
+        "wcoj-exec intra-value parallelism: single-hot-key workload, split on/off",
+        &[
+            "instance",
+            "mode",
+            "threads",
+            "tasks",
+            "sub_shards",
+            "output",
+            "ms",
+            "speedup",
+        ],
+        "split-on plans carry ≥ 2 sub-shard tasks; output identical everywhere; \
+         split-on speedup grows toward the core count while split-off stalls at ≈ 1",
+    );
+    let hot = if quick { 96 } else { 512 };
+    let instances = [
+        ("hot_key", wcoj_datagen::hot_key_triangle(41, hot, 4)),
+        ("hot_key_2", wcoj_datagen::hot_key_triangle(43, hot / 2, 2)),
+    ];
+    for (name, rels) in &instances {
+        let prepared = PreparedQuery::new(rels).expect("well-formed instance");
+        let weights = prepared.root_candidate_weights();
+        let total: u64 = weights.iter().map(|&(_, w)| w).sum();
+        let hottest = weights.iter().map(|&(_, w)| w).max().expect("non-empty");
+        assert!(
+            hottest as f64 / total as f64 >= 0.9,
+            "{name}: one root value carries ≥ 90% of the work"
+        );
+        // One sequential oracle per instance: every mode × thread-count
+        // configuration must reproduce it bit for bit.
+        let oracle = join_with(rels, Algorithm::Nprr, None)
+            .expect("sequential oracle")
+            .relation;
+        for (mode, factor) in [
+            ("split", ExecConfig::default().heavy_split_factor),
+            ("nosplit", 0),
+        ] {
+            let mut base_secs = None;
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = ExecConfig {
+                    threads,
+                    shard_min_size: 1,
+                    heavy_split_factor: factor,
+                    ..ExecConfig::default()
+                };
+                // the plan the run actually executes (1 thread = in-place
+                // sequential run, no shards)
+                let (tasks, sub_shards) = if threads > 1 {
+                    let plan = ShardPlan::plan(&prepared, threads * OVERSPLIT, &cfg);
+                    let subs = plan.shards().iter().filter(|s| s.anchor.is_some()).count();
+                    (plan.tasks().len(), subs)
+                } else {
+                    (1, 0)
+                };
+                if threads > 1 {
+                    if mode == "split" {
+                        assert!(sub_shards >= 2, "{name}: hot key split into sub-shards");
+                    } else {
+                        assert_eq!(sub_shards, 0, "{name}: splitter disabled");
+                    }
+                }
+                let (out, secs) =
+                    time_secs(|| par_join_prepared(&prepared, None, &cfg).expect("join"));
+                let base = *base_secs.get_or_insert(secs);
+                assert_eq!(
+                    out.relation, oracle,
+                    "{name}: {mode} t={threads} bit-identical to sequential"
+                );
+                t.row(vec![
+                    (*name).to_owned(),
+                    mode.to_owned(),
+                    threads.to_string(),
+                    tasks.to_string(),
+                    sub_shards.to_string(),
+                    out.relation.len().to_string(),
+                    ms(secs),
+                    format!("{:.2}", base / secs.max(1e-12)),
+                ]);
+            }
+        }
+    }
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -940,6 +1038,21 @@ mod tests {
         assert_eq!(t[0].rows.len(), 3);
         for row in &t[0].rows {
             assert_eq!(row[5], "true");
+        }
+    }
+    #[test]
+    fn e18_smoke() {
+        let t = e18_heavy_key_scaling(true);
+        // 2 instances × 2 modes × 4 thread counts; the asserts inside
+        // already verified identical outputs and sub-shard presence
+        assert_eq!(t[0].rows.len(), 16);
+        for row in &t[0].rows {
+            let threads: usize = row[2].parse().unwrap();
+            let subs: usize = row[4].parse().unwrap();
+            match (row[1].as_str(), threads) {
+                ("split", t) if t > 1 => assert!(subs >= 2, "{row:?}"),
+                _ => assert_eq!(subs, 0, "{row:?}"),
+            }
         }
     }
 }

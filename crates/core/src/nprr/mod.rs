@@ -124,21 +124,23 @@ pub(crate) fn assemble_output(
 }
 
 /// Inclusive value range restricting the attribute at total-order
-/// position 0 — the handle the partition-parallel executor uses to carve
-/// `Recursive-Join` into independent sub-joins. §5.2 (step 2a) is the
-/// correctness argument: the trie subtree under each level-0 branch *is*
-/// the search tree of that section, so runs restricted to disjoint root
-/// ranges touch disjoint sets of output rows and need no coordination.
+/// position 1 *inside* one root shard — the handle of **intra-value
+/// parallelism**. For a fixed root binding, the case-b scan of the anchor
+/// relation's section enumerates the level-1 values in sorted order; two
+/// sub-shards with disjoint anchor ranges enumerate disjoint slices of
+/// that scan (and of every later scan binding position 1), so they
+/// produce disjoint row sets whose union is exactly the parent shard's —
+/// the same §5.2 step-2a argument as root sharding, one level down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RootShard {
-    /// Smallest admitted value for the first attribute in the total order.
+pub struct AnchorRange {
+    /// Smallest admitted value for the second attribute in the total order.
     pub lo: Value,
     /// Largest admitted value (inclusive).
     pub hi: Value,
 }
 
-impl RootShard {
-    /// Does `v` fall inside this shard?
+impl AnchorRange {
+    /// Does `v` fall inside this range?
     #[inline]
     #[must_use]
     pub fn contains(&self, v: Value) -> bool {
@@ -146,34 +148,115 @@ impl RootShard {
     }
 }
 
-/// (ST3) restricted to a shard: visits each length-`extra` extension of
-/// `node` whose *first* value lies in `shard`, pruning the descent at
-/// level 0 so out-of-range subtrees are never walked (a per-tuple filter
-/// would make every shard pay for the whole enumeration).
-fn for_each_extension_in_shard<S: SearchTree>(
+/// Inclusive value range restricting the attribute at total-order
+/// position 0 — the handle the partition-parallel executor uses to carve
+/// `Recursive-Join` into independent sub-joins. §5.2 (step 2a) is the
+/// correctness argument: the trie subtree under each level-0 branch *is*
+/// the search tree of that section, so runs restricted to disjoint root
+/// ranges touch disjoint sets of output rows and need no coordination.
+///
+/// A shard may additionally carry an [`AnchorRange`] restricting the
+/// attribute at total-order position 1: a *sub-shard* splitting the work
+/// inside one heavy root value across workers. Sub-shards only make
+/// sense for queries whose total order has ≥ 2 attributes — the planner
+/// (`wcoj-exec`) enforces that; an anchored shard on a shorter order
+/// would re-enumerate the full result in every sub-shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootShard {
+    /// Smallest admitted value for the first attribute in the total order.
+    pub lo: Value,
+    /// Largest admitted value (inclusive).
+    pub hi: Value,
+    /// Optional sub-range over the attribute at total-order position 1
+    /// (intra-value parallelism for heavy root values).
+    pub anchor: Option<AnchorRange>,
+}
+
+impl RootShard {
+    /// An unanchored shard covering `[lo, hi]` of the root attribute.
+    #[inline]
+    #[must_use]
+    pub fn range(lo: Value, hi: Value) -> RootShard {
+        RootShard {
+            lo,
+            hi,
+            anchor: None,
+        }
+    }
+
+    /// Does `v` fall inside this shard's root range?
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, v: Value) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Does `v` fall inside this shard's anchor range (trivially true for
+    /// unanchored shards)?
+    #[inline]
+    #[must_use]
+    pub fn anchor_contains(&self, v: Value) -> bool {
+        self.anchor.is_none_or(|a| a.contains(v))
+    }
+}
+
+/// An optional inclusive value interval restricting one scan level.
+type LevelRange = Option<(Value, Value)>;
+
+/// (ST3) restricted to per-level value ranges: visits each length-`extra`
+/// extension of `node` whose level-0 value lies in `level0` and whose
+/// level-1 value lies in `level1` (either filter may be absent), pruning
+/// the descent at the filtered levels so out-of-range subtrees are never
+/// walked (a per-tuple filter would make every shard pay for the whole
+/// enumeration).
+fn for_each_extension_filtered<S: SearchTree>(
     trie: &S,
     node: S::Node,
     extra: usize,
-    shard: RootShard,
+    level0: LevelRange,
+    level1: LevelRange,
     mut f: impl FnMut(&[Value]),
 ) {
+    if level0.is_none() && level1.is_none() {
+        trie.for_each_extension(node, extra, f);
+        return;
+    }
     debug_assert!(extra >= 1);
     let children = trie.child_values(node);
-    let lo = children.partition_point(|&v| v < shard.lo);
-    let hi = children.partition_point(|&v| v <= shard.hi);
+    let (lo0, hi0) = level0.unwrap_or((Value(u64::MIN), Value(u64::MAX)));
+    let lo = children.partition_point(|&v| v < lo0);
+    let hi = children.partition_point(|&v| v <= hi0);
     let mut buf: Vec<Value> = Vec::with_capacity(extra);
     for &v in &children[lo..hi] {
         let child = trie.descend(node, v).expect("listed child exists");
         buf.clear();
         buf.push(v);
-        if extra == 1 {
-            f(&buf);
-        } else {
-            trie.for_each_extension(child, extra - 1, |rest| {
+        match level1 {
+            _ if extra == 1 => f(&buf),
+            None => trie.for_each_extension(child, extra - 1, |rest| {
                 buf.truncate(1);
                 buf.extend_from_slice(rest);
                 f(&buf);
-            });
+            }),
+            Some((lo1, hi1)) => {
+                let grand = trie.child_values(child);
+                let l1 = grand.partition_point(|&w| w < lo1);
+                let h1 = grand.partition_point(|&w| w <= hi1);
+                for &w in &grand[l1..h1] {
+                    let gchild = trie.descend(child, w).expect("listed child exists");
+                    buf.truncate(1);
+                    buf.push(w);
+                    if extra == 2 {
+                        f(&buf);
+                    } else {
+                        trie.for_each_extension(gchild, extra - 2, |rest| {
+                            buf.truncate(2);
+                            buf.extend_from_slice(rest);
+                            f(&buf);
+                        });
+                    }
+                }
+            }
         }
     }
 }
@@ -196,6 +279,36 @@ pub(crate) struct Engine<'a, S: SearchTree> {
 }
 
 impl<S: SearchTree> Engine<'_, S> {
+    /// The `(level-0, level-1)` value-range filters a scan must honour,
+    /// given the total-order positions bound by its first one or two
+    /// levels. Partition-parallel runs restrict the attribute at position
+    /// 0 to the shard's root range and (for anchored sub-shards) the
+    /// attribute at position 1 to the anchor range; every attribute is
+    /// bound by exactly one scan per enumeration path, so pruning at the
+    /// binding scan restricts the run to exactly the shard's slice of the
+    /// output. A scan binding position 0 over ≥ 2 levels always binds
+    /// position 1 at its level 1 (TO2 forces `W = ∅` there, so the scan
+    /// covers a prefix of the total order); position 1 not bound that way
+    /// is bound by a scan starting at position 1, filtered at its level 0.
+    fn scan_filters(
+        &self,
+        first_pos: usize,
+        second_pos: Option<usize>,
+    ) -> (LevelRange, LevelRange) {
+        let Some(shard) = self.shard else {
+            return (None, None);
+        };
+        let anchor = shard.anchor.map(|a| (a.lo, a.hi));
+        match first_pos {
+            0 => {
+                let level1 = if second_pos == Some(1) { anchor } else { None };
+                (Some((shard.lo, shard.hi)), level1)
+            }
+            1 => (anchor, None),
+            _ => (None, None),
+        }
+    }
+
     /// The section node of relation `e`'s trie under the current bindings,
     /// restricted to `e`'s attributes with total-order position `< limit`
     /// — the paper's `R_e[t_{S∩e}]` where `S` is the order prefix below
@@ -350,22 +463,13 @@ impl<S: SearchTree> Engine<'_, S> {
                 if let Some(anchor_node) = anchor {
                     let trie_ek = &self.tries[ek];
                     // Partition-parallel runs: when this scan binds the
-                    // first attribute of the total order, descend only the
-                    // shard's root range.
-                    let filter = if wm_start == 0 { self.shard } else { None };
+                    // first (second) attribute of the total order, descend
+                    // only the shard's root (anchor) range.
+                    let (f0, f1) = self.scan_filters(wm_start, wminus.get(1).map(|&v| self.pos[v]));
                     let mut wm_rows: Vec<Vec<Value>> = Vec::new();
-                    match filter {
-                        Some(shard) => for_each_extension_in_shard(
-                            trie_ek,
-                            anchor_node,
-                            wminus.len(),
-                            shard,
-                            |t| wm_rows.push(t.to_vec()),
-                        ),
-                        None => trie_ek.for_each_extension(anchor_node, wminus.len(), |t| {
-                            wm_rows.push(t.to_vec());
-                        }),
-                    }
+                    for_each_extension_filtered(trie_ek, anchor_node, wminus.len(), f0, f1, |t| {
+                        wm_rows.push(t.to_vec());
+                    });
                     for t_wm in wm_rows {
                         // bind t_{W⁻}
                         for (&v, &val) in wminus.iter().zip(&t_wm) {
@@ -456,18 +560,14 @@ impl<S: SearchTree> Engine<'_, S> {
 
         let mut out = Vec::new();
         let trie_j = &self.tries[j];
-        // Partition-parallel runs: when this leaf binds the first attribute
-        // of the total order, descend only the shard's root range.
-        let filter = if u_start == 0 { self.shard } else { None };
+        // Partition-parallel runs: when this leaf binds the first (second)
+        // attribute of the total order, descend only the shard's root
+        // (anchor) range.
+        let (f0, f1) = self.scan_filters(u_start, univ.get(1).map(|&v| self.pos[v]));
         let mut candidates: Vec<Vec<Value>> = Vec::new();
-        match filter {
-            Some(shard) => {
-                for_each_extension_in_shard(trie_j, j_node, univ.len(), shard, |t| {
-                    candidates.push(t.to_vec());
-                });
-            }
-            None => trie_j.for_each_extension(j_node, univ.len(), |t| candidates.push(t.to_vec())),
-        }
+        for_each_extension_filtered(trie_j, j_node, univ.len(), f0, f1, |t| {
+            candidates.push(t.to_vec());
+        });
         self.stats.intermediate_tuples += candidates.len() as u64;
         for cand in candidates {
             let ok = others

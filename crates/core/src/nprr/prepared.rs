@@ -21,6 +21,24 @@ use crate::{JoinOutput, JoinStats};
 use wcoj_hypergraph::cover::validate_cover;
 use wcoj_storage::{Attr, Relation, SearchTree, TrieIndex, Value};
 
+/// Merge-intersects two sorted value lists.
+fn intersect_sorted(a: &[Value], b: &[Value]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
 /// A query prepared for repeated NPRR evaluation: the plan tree, the total
 /// order, and all search trees, built once.
 pub struct PreparedQuery<S: SearchTree = TrieIndex> {
@@ -144,23 +162,46 @@ impl<S: SearchTree> PreparedQuery<S> {
             let level0 = self.tries[e].child_values(self.tries[e].root());
             acc = Some(match acc {
                 None => level0,
-                Some(prev) => {
-                    // merge-intersect two sorted lists
-                    let mut out = Vec::with_capacity(prev.len().min(level0.len()));
-                    let (mut i, mut j) = (0, 0);
-                    while i < prev.len() && j < level0.len() {
-                        match prev[i].cmp(&level0[j]) {
-                            std::cmp::Ordering::Less => i += 1,
-                            std::cmp::Ordering::Greater => j += 1,
-                            std::cmp::Ordering::Equal => {
-                                out.push(prev[i]);
-                                i += 1;
-                                j += 1;
-                            }
-                        }
-                    }
-                    out
+                Some(prev) => intersect_sorted(&prev, &level0),
+            });
+        }
+        acc.unwrap_or_default()
+    }
+
+    /// The candidate values of the **anchor attribute** (total-order
+    /// position 1) under root binding `root`: the sorted intersection of
+    /// the level-1 slices of every index whose trie starts `(root-attr,
+    /// anchor-attr)` — the section the case-b anchor scan under a fixed
+    /// root value enumerates — with the level-0 lists of every index whose
+    /// trie starts with the anchor attribute. Every output tuple with root
+    /// value `root` draws its anchor value from this list, so a partition
+    /// of it induces a partition of the root value's output — the
+    /// planning input for intra-value sub-shards ([`RootShard::anchor`]).
+    ///
+    /// Empty when the total order has fewer than two attributes (there is
+    /// no anchor level to sub-shard on), or when `root` cannot produce
+    /// output.
+    #[must_use]
+    pub fn anchor_candidates(&self, root: Value) -> Vec<Value> {
+        let [root_vertex, anchor_vertex] = *self.order.get(..2).unwrap_or(&[]) else {
+            return Vec::new();
+        };
+        let mut acc: Option<Vec<Value>> = None;
+        for (e, vs) in self.edge_vertices.iter().enumerate() {
+            let trie = &self.tries[e];
+            let slice = if vs.first() == Some(&anchor_vertex) {
+                trie.child_values(trie.root())
+            } else if vs.first() == Some(&root_vertex) && vs.get(1) == Some(&anchor_vertex) {
+                match trie.descend(trie.root(), root) {
+                    Some(n) => trie.child_values(n),
+                    None => Vec::new(), // root value absent: empty section
                 }
+            } else {
+                continue; // relation does not constrain the anchor level
+            };
+            acc = Some(match acc {
+                None => slice,
+                Some(prev) => intersect_sorted(&prev, &slice),
             });
         }
         acc.unwrap_or_default()
@@ -236,7 +277,8 @@ impl<S: SearchTree> PreparedQuery<S> {
         let Some(root) = &self.root else {
             // Nullary query: a single empty row (the join of non-empty
             // nullary relations), owned by the unrestricted/first shard.
-            let rows = if shard.is_none_or(|s| s.contains(Value(0))) {
+            let rows = if shard.is_none_or(|s| s.contains(Value(0)) && s.anchor_contains(Value(0)))
+            {
                 vec![vec![]]
             } else {
                 Vec::new()
@@ -441,6 +483,75 @@ mod tests {
     }
 
     #[test]
+    fn anchor_candidates_intersect_level1_slices() {
+        use crate::nprr::AnchorRange;
+        // Triangle total order is (1, 0, 2): root attribute 1 (position 0),
+        // anchor attribute 0 (position 1). R(0,1)'s trie starts
+        // (root, anchor); T(0,2)'s trie starts with the anchor; S(1,2)
+        // does not constrain the anchor level at all.
+        let r = Relation::from_u32_rows(
+            Schema::of(&[0, 1]),
+            &[&[10, 2], &[11, 2], &[12, 2], &[10, 3]],
+        );
+        let s = Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 7], &[2, 8], &[3, 7]]);
+        let t = Relation::from_u32_rows(Schema::of(&[0, 2]), &[&[10, 7], &[11, 8], &[13, 9]]);
+        let rels = [r, s, t];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        assert_eq!(prepared.total_order()[0], 1);
+        // under root 2: π₀(R[·,2]) = {10,11,12}, π₀(T) = {10,11,13}
+        assert_eq!(
+            prepared.anchor_candidates(Value(2)),
+            vec![Value(10), Value(11)]
+        );
+        assert_eq!(prepared.anchor_candidates(Value(3)), vec![Value(10)]);
+        // absent root value: empty section, no candidates
+        assert!(prepared.anchor_candidates(Value(99)).is_empty());
+        // hash backend agrees
+        let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).unwrap();
+        assert_eq!(
+            hashed.anchor_candidates(Value(2)),
+            prepared.anchor_candidates(Value(2))
+        );
+        // a single-attribute order has no anchor level
+        let unary = PreparedQuery::new(&[
+            Relation::from_u32_rows(Schema::of(&[0]), &[&[1], &[2]]),
+            Relation::from_u32_rows(Schema::of(&[0]), &[&[2], &[3]]),
+        ])
+        .unwrap();
+        assert!(unary.anchor_candidates(Value(2)).is_empty());
+        // anchored shards partition the hot root value's rows exactly
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        let (x, b) = prepared.resolve_cover(None).unwrap();
+        let (all, _) = prepared.run_shard(&x, b, Some(RootShard::range(Value(2), Value(2))));
+        let lo_half = RootShard {
+            lo: Value(2),
+            hi: Value(2),
+            anchor: Some(AnchorRange {
+                lo: Value(u64::MIN),
+                hi: Value(10),
+            }),
+        };
+        let hi_half = RootShard {
+            lo: Value(2),
+            hi: Value(2),
+            anchor: Some(AnchorRange {
+                lo: Value(11),
+                hi: Value(u64::MAX),
+            }),
+        };
+        let (lo_rows, _) = prepared.run_shard(&x, b, Some(lo_half));
+        let (hi_rows, _) = prepared.run_shard(&x, b, Some(hi_half));
+        for row in &lo_rows {
+            assert!(!hi_rows.contains(row), "sub-shards disjoint");
+        }
+        let mut merged: Vec<Vec<Value>> = lo_rows.into_iter().chain(hi_rows).collect();
+        let mut expect = all;
+        merged.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(merged, expect, "sub-shards union to the root value's rows");
+    }
+
+    #[test]
     fn sharded_runs_union_to_full_output() {
         let rels = [
             random_rel(20, &[0, 1], 80, 10),
@@ -454,21 +565,11 @@ mod tests {
         let cands = prepared.root_candidates();
         assert!(!cands.is_empty());
         let mid = cands[cands.len() / 2];
-        let low = prepared.run_shard(
-            &x,
-            b,
-            Some(RootShard {
-                lo: Value(u64::MIN),
-                hi: mid,
-            }),
-        );
+        let low = prepared.run_shard(&x, b, Some(RootShard::range(Value(u64::MIN), mid)));
         let high = prepared.run_shard(
             &x,
             b,
-            Some(RootShard {
-                lo: Value(mid.0 + 1),
-                hi: Value(u64::MAX),
-            }),
+            Some(RootShard::range(Value(mid.0 + 1), Value(u64::MAX))),
         );
         let mut merged: Vec<Vec<Value>> = low.0.into_iter().chain(high.0).collect();
         let mut expect = all_rows;

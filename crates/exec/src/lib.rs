@@ -19,12 +19,18 @@
 //!    sorted intersection of root-level values over all relations
 //!    containing the root attribute) and split the candidate list into
 //!    contiguous ranges — by estimated per-candidate *work* (level-1
-//!    fanout, [`ShardSplit::Work`], the default: heavy root values get
-//!    singleton shards) or by plain candidate count
-//!    ([`ShardSplit::Candidates`]). The ranges jointly cover the whole
-//!    value domain, so correctness never depends on the candidate
-//!    computation being tight. The reusable [`ShardPlan`] is also what
-//!    the `wcoj-service` shared-pool scheduler executes.
+//!    fanout, [`ShardSplit::Work`], the default) or by plain candidate
+//!    count ([`ShardSplit::Candidates`]). Under work-based sizing the
+//!    plan is **two-level**: a heavy root value is first isolated, and
+//!    one heavy enough to span several work targets is further broken
+//!    into *anchor sub-shards* — [`RootShard`]s carrying an
+//!    [`AnchorRange`] over the level-1 attribute
+//!    ([`ExecConfig::heavy_split_factor`], env `WCOJ_HEAVY_SPLIT`) — so
+//!    even a single hot key spreads across workers instead of pinning
+//!    one. The ranges jointly cover the whole value domain (root ×
+//!    anchor), so correctness never depends on the candidate computation
+//!    being tight. The reusable [`ShardPlan`] is also what the
+//!    `wcoj-service` shared-pool scheduler executes.
 //! 2. **Parallel run** — a fixed-size pool of scoped worker threads pulls
 //!    shards off an atomic cursor (cheap work stealing: shards are
 //!    oversplit ~4× relative to the thread count so a skewed shard cannot
@@ -48,7 +54,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use wcoj_core::nprr::{PreparedQuery, RootShard};
+use wcoj_core::nprr::{AnchorRange, PreparedQuery, RootShard};
 use wcoj_core::{JoinOutput, JoinQuery, JoinStats, QueryError};
 use wcoj_storage::{Relation, SearchTree, TrieIndex, Value};
 
@@ -78,7 +84,22 @@ pub struct ExecConfig {
     pub shard_min_size: usize,
     /// Shard-sizing strategy (work-based by default).
     pub split: ShardSplit,
+    /// Intra-value parallelism for heavy root values
+    /// ([`ShardSplit::Work`] only): the maximum number of anchor
+    /// sub-shards one root value may be broken into. A root value whose
+    /// estimated weight spans `s ≥ 2` per-shard work targets is split
+    /// into `min(s, heavy_split_factor)` sub-shards over the level-1
+    /// anchor domain ([`PreparedQuery::anchor_candidates`]), so a single
+    /// hot key no longer pins one worker while the rest of the pool
+    /// drains. `0` or `1` disables intra-value splitting (heavy values
+    /// fall back to PR 2's singleton-shard isolation).
+    pub heavy_split_factor: usize,
 }
+
+/// Default [`ExecConfig::heavy_split_factor`]: twice the [`OVERSPLIT`]
+/// factor, so even a query whose whole root domain is one hot value
+/// yields enough sub-shards to keep a small pool busy with stealing room.
+pub const HEAVY_SPLIT_DEFAULT: usize = OVERSPLIT * 2;
 
 impl Default for ExecConfig {
     fn default() -> Self {
@@ -86,6 +107,7 @@ impl Default for ExecConfig {
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             shard_min_size: 16,
             split: ShardSplit::default(),
+            heavy_split_factor: HEAVY_SPLIT_DEFAULT,
         }
     }
 }
@@ -101,8 +123,10 @@ impl ExecConfig {
     }
 
     /// Default config overridden by the `WCOJ_THREADS`,
-    /// `WCOJ_SHARD_MIN_SIZE`, and `WCOJ_SHARD_SPLIT` (`work`/`candidates`)
-    /// environment variables when set — how the
+    /// `WCOJ_SHARD_MIN_SIZE`, `WCOJ_SHARD_SPLIT` (`work`/`candidates`),
+    /// and `WCOJ_HEAVY_SPLIT` (max sub-shards per heavy root value; `0`
+    /// disables intra-value splitting) environment variables when set —
+    /// how the
     /// [`Algorithm::NprrParallel`](wcoj_core::Algorithm::NprrParallel)
     /// dispatch path (which carries no config) is tuned.
     #[must_use]
@@ -118,6 +142,9 @@ impl ExecConfig {
             Ok("candidates") => cfg.split = ShardSplit::Candidates,
             Ok("work") => cfg.split = ShardSplit::Work,
             _ => {}
+        }
+        if let Some(k) = read_env_usize("WCOJ_HEAVY_SPLIT") {
+            cfg.heavy_split_factor = k;
         }
         cfg
     }
@@ -155,7 +182,7 @@ pub fn plan_shards(candidates: &[Value], max_shards: usize, min_size: usize) -> 
             // candidate belongs to this shard
             Value(candidates[end].0 - 1)
         };
-        out.push(RootShard { lo, hi });
+        out.push(RootShard::range(lo, hi));
         if end == candidates.len() {
             break;
         }
@@ -171,10 +198,18 @@ pub fn plan_shards(candidates: &[Value], max_shards: usize, min_size: usize) -> 
 /// value domain. A *heavy* candidate — one whose weight alone reaches the
 /// target — is isolated into a singleton shard so a hot key never drags
 /// its neighbours onto the same worker (splitting *inside* one root value
-/// needs intra-value parallelism, a planned follow-up). `max_shards` sets
-/// the weight target, not a hard cap: heavy-hitter isolation can emit a
-/// few more, smaller, shards — extra entries for the pool to steal, never
-/// extra parallelism.
+/// is [`plan_weighted_shards_split`]'s job). `max_shards` sets the weight
+/// target, not a hard cap: heavy-hitter isolation can emit a few more,
+/// smaller, shards — extra entries for the pool to steal, never extra
+/// parallelism.
+///
+/// The plan size is bounded even in the all-heavy degenerate case: a
+/// candidate is heavy only when its weight reaches `⌈Σw / max_shards⌉`,
+/// so at most `max_shards` singletons exist, each light group (other
+/// than a tail flushed by a heavy neighbour) carries a full target of
+/// weight, and the plan never exceeds `2 × max_shards + 1` entries — no
+/// 1-task-per-candidate explosion, pinned by
+/// `all_heavy_degenerate_plans_stay_bounded`.
 ///
 /// Returns an empty plan when there is nothing to split (`≤ 1` shard
 /// requested, or fewer than `2 × min_size` candidates).
@@ -234,7 +269,185 @@ pub fn plan_weighted_shards(
         } else {
             Value(weights[end].0 .0 - 1)
         };
-        out.push(RootShard { lo, hi });
+        out.push(RootShard::range(lo, hi));
+        lo = Value(hi.0.wrapping_add(1));
+    }
+    out
+}
+
+/// One planned group of root candidates: the exclusive end index of its
+/// candidate run, plus — for an intra-value split of a heavy candidate —
+/// the anchor-chunk boundaries (first anchor candidate of every chunk
+/// after the first).
+struct GroupSpec {
+    end: usize,
+    anchor_bounds: Option<Vec<Value>>,
+}
+
+impl GroupSpec {
+    fn tasks(&self) -> usize {
+        self.anchor_bounds.as_ref().map_or(1, |b| b.len() + 1)
+    }
+}
+
+/// [`plan_weighted_shards`] extended with **intra-value parallelism**: a
+/// root value whose weight spans `s ≥ 2` per-shard work targets is broken
+/// into `min(s, heavy_split, |anchor slice|)` *sub-shards* — [`RootShard`]s
+/// sharing the value's root range whose [`AnchorRange`]s partition the
+/// level-1 anchor domain at boundaries drawn from `anchor_slice(value)`
+/// (the sorted anchor candidates under that root value,
+/// [`PreparedQuery::anchor_candidates`]). The sub-shards jointly cover the
+/// root range × the whole anchor domain `[0, u64::MAX]` exactly once, so
+/// their union is bit-identical to the unsplit shard's output while a hot
+/// key occupies up to `heavy_split` workers instead of one.
+///
+/// Unlike level-0 grouping, sub-split sizing deliberately ignores the
+/// candidate-count floor: a root domain of a *single* candidate (the
+/// extreme the planner exists for) can still fill the whole pool. The
+/// task budget stays bounded in every degenerate case — splittable values
+/// each span ≥ 2 targets so their sub-shards sum to ≤ `max_shards`, and
+/// the level-0 groups obey [`plan_weighted_shards`]'s `2 × max_shards + 1`
+/// bound — so the plan never exceeds `3 × max_shards + 1` entries.
+///
+/// `heavy_split ≤ 1` disables splitting and defers to
+/// [`plan_weighted_shards`] exactly. Returns an empty plan when nothing
+/// can be split at either level.
+#[must_use]
+pub fn plan_weighted_shards_split(
+    weights: &[(Value, u64)],
+    max_shards: usize,
+    min_size: usize,
+    heavy_split: usize,
+    anchor_slice: impl Fn(Value) -> Vec<Value>,
+) -> Vec<RootShard> {
+    if heavy_split <= 1 {
+        return plan_weighted_shards(weights, max_shards, min_size);
+    }
+    let min_size = min_size.max(1);
+    if weights.is_empty() || max_shards <= 1 {
+        return Vec::new();
+    }
+    let total: u128 = weights.iter().map(|&(_, w)| u128::from(w)).sum();
+    // Sub-split target: what a full complement of shards would each carry.
+    let target_split = total.div_ceil(max_shards as u128).max(1);
+    // Level-0 grouping respects the same candidate floor as
+    // `plan_weighted_shards`; a domain too small for level-0 splitting
+    // becomes one group (sub-splits can still multiply it).
+    let capped = max_shards.min(weights.len() / min_size);
+    let target_group = if capped >= 2 {
+        total.div_ceil(capped as u128).max(1)
+    } else {
+        u128::MAX
+    };
+
+    let mut groups: Vec<GroupSpec> = Vec::new();
+    let mut acc: u128 = 0;
+    let mut open = false; // does an unclosed group precede index i?
+    for (i, &(v, w)) in weights.iter().enumerate() {
+        let w = u128::from(w);
+        // How many work targets does this one candidate span?
+        let split_ways = usize::try_from(w / target_split).unwrap_or(usize::MAX);
+        let k = heavy_split.min(split_ways);
+        if k >= 2 {
+            // Splittable heavy hitter: close the open group, then carve
+            // the candidate into ≤ k anchor sub-shards.
+            if open {
+                groups.push(GroupSpec {
+                    end: i,
+                    anchor_bounds: None,
+                });
+            }
+            let slice = anchor_slice(v);
+            let k = k.min(slice.len());
+            let anchor_bounds = if k >= 2 {
+                let chunk = slice.len().div_ceil(k);
+                Some(slice.iter().copied().skip(chunk).step_by(chunk).collect())
+            } else {
+                None // no anchor domain to split on: plain singleton
+            };
+            groups.push(GroupSpec {
+                end: i + 1,
+                anchor_bounds,
+            });
+            acc = 0;
+            open = false;
+        } else if w >= target_group {
+            // Heavy but not splittable: isolate it as before.
+            if open {
+                groups.push(GroupSpec {
+                    end: i,
+                    anchor_bounds: None,
+                });
+            }
+            groups.push(GroupSpec {
+                end: i + 1,
+                anchor_bounds: None,
+            });
+            acc = 0;
+            open = false;
+        } else {
+            acc += w;
+            open = true;
+            if acc >= target_group {
+                groups.push(GroupSpec {
+                    end: i + 1,
+                    anchor_bounds: None,
+                });
+                acc = 0;
+                open = false;
+            }
+        }
+    }
+    if open {
+        groups.push(GroupSpec {
+            end: weights.len(),
+            anchor_bounds: None,
+        });
+    }
+    if groups.iter().map(GroupSpec::tasks).sum::<usize>() <= 1 {
+        return Vec::new();
+    }
+
+    // Emit gap-free inclusive root ranges exactly like
+    // `plan_weighted_shards` (each group owns the gap up to the next
+    // group's first candidate); a sub-split group emits one shard per
+    // anchor chunk, all sharing the group's root range, their anchor
+    // ranges jointly covering [0, u64::MAX].
+    let mut out = Vec::with_capacity(groups.iter().map(GroupSpec::tasks).sum());
+    let mut lo = Value(u64::MIN);
+    for (g, group) in groups.iter().enumerate() {
+        let hi = if g + 1 == groups.len() {
+            Value(u64::MAX)
+        } else {
+            Value(weights[group.end].0 .0 - 1)
+        };
+        match &group.anchor_bounds {
+            None => out.push(RootShard::range(lo, hi)),
+            Some(bounds) => {
+                let mut alo = Value(u64::MIN);
+                for &b in bounds {
+                    out.push(RootShard {
+                        lo,
+                        hi,
+                        anchor: Some(AnchorRange {
+                            lo: alo,
+                            // bounds are anchor candidates at index ≥ 1 of
+                            // a sorted distinct slice, so b.0 ≥ 1
+                            hi: Value(b.0 - 1),
+                        }),
+                    });
+                    alo = b;
+                }
+                out.push(RootShard {
+                    lo,
+                    hi,
+                    anchor: Some(AnchorRange {
+                        lo: alo,
+                        hi: Value(u64::MAX),
+                    }),
+                });
+            }
+        }
         lo = Value(hi.0.wrapping_add(1));
     }
     out
@@ -253,28 +466,40 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
-    /// Plans shards for `prepared` under the given strategy: `max_shards`
-    /// ranges as the sizing target ([`ShardSplit::Work`] may exceed it
-    /// slightly when isolating heavy hitters), never splitting domains
-    /// finer than `min_size` candidates per shard.
+    /// Plans shards for `prepared` under `cfg`'s strategy knobs
+    /// (`shard_min_size`, `split`, `heavy_split_factor`; `threads` is the
+    /// caller's business): `max_shards` ranges as the sizing target
+    /// ([`ShardSplit::Work`] may exceed it when isolating or sub-splitting
+    /// heavy hitters, bounded by `3 × max_shards + 1`), never splitting
+    /// level-0 domains finer than `shard_min_size` candidates per shard.
+    /// Intra-value sub-shards need an anchor level to split on, so they
+    /// are only planned for total orders of ≥ 2 attributes.
     #[must_use]
     pub fn plan<S: SearchTree>(
         prepared: &PreparedQuery<S>,
         max_shards: usize,
-        min_size: usize,
-        split: ShardSplit,
+        cfg: &ExecConfig,
     ) -> ShardPlan {
-        let (shards, root_candidates) = match split {
+        let min_size = cfg.shard_min_size;
+        let (shards, root_candidates) = match cfg.split {
             ShardSplit::Candidates => {
                 let cands = prepared.root_candidates();
                 (plan_shards(&cands, max_shards, min_size), cands.len())
             }
             ShardSplit::Work => {
                 let weights = prepared.root_candidate_weights();
-                (
-                    plan_weighted_shards(&weights, max_shards, min_size),
-                    weights.len(),
-                )
+                let shards = if cfg.heavy_split_factor >= 2 && prepared.total_order().len() >= 2 {
+                    plan_weighted_shards_split(
+                        &weights,
+                        max_shards,
+                        min_size,
+                        cfg.heavy_split_factor,
+                        |v| prepared.anchor_candidates(v),
+                    )
+                } else {
+                    plan_weighted_shards(&weights, max_shards, min_size)
+                };
+                (shards, weights.len())
             }
         };
         ShardPlan {
@@ -406,12 +631,7 @@ where
     };
 
     let shards = if cfg.threads > 1 {
-        let plan = ShardPlan::plan(
-            prepared,
-            cfg.threads * OVERSPLIT,
-            cfg.shard_min_size,
-            cfg.split,
-        );
+        let plan = ShardPlan::plan(prepared, cfg.threads * OVERSPLIT, cfg);
         if plan.root_domain_is_empty(prepared) {
             // Zero-shard plan: no root value survives the level-0
             // intersection, so the join is empty — return without running
@@ -555,6 +775,150 @@ mod tests {
         assert!(plan_weighted_shards(&uniform, 4, 30).is_empty());
     }
 
+    /// Every plan is a gap-free cover of root × anchor space: root ranges
+    /// tile `[0, u64::MAX]`, and within a run of sub-shards sharing a root
+    /// range the anchor ranges tile `[0, u64::MAX]` too.
+    fn assert_covers_domain(plan: &[RootShard], ctx: &str) {
+        assert!(!plan.is_empty(), "{ctx}");
+        assert_eq!(plan[0].lo, Value(0), "{ctx}");
+        assert_eq!(plan.last().unwrap().hi, Value(u64::MAX), "{ctx}");
+        let mut i = 0;
+        while i < plan.len() {
+            let s = plan[i];
+            let mut j = i + 1;
+            if s.anchor.is_some() {
+                let mut alo = 0u64;
+                while j < plan.len() && plan[j].lo == s.lo {
+                    j += 1;
+                }
+                assert!(j - i >= 2, "{ctx}: a sub-shard run has ≥ 2 entries");
+                for sub in &plan[i..j] {
+                    assert_eq!(sub.hi, s.hi, "{ctx}: run shares the root range");
+                    let a = sub.anchor.expect("run fully anchored");
+                    assert_eq!(a.lo.0, alo, "{ctx}: anchor gap-free");
+                    assert!(a.lo <= a.hi, "{ctx}: anchor range non-empty");
+                    alo = a.hi.0.wrapping_add(1);
+                }
+                assert_eq!(
+                    plan[j - 1].anchor.unwrap().hi,
+                    Value(u64::MAX),
+                    "{ctx}: anchor cover complete"
+                );
+            }
+            if j < plan.len() {
+                assert_eq!(
+                    plan[j].lo.0,
+                    s.hi.0.wrapping_add(1),
+                    "{ctx}: root ranges gap-free"
+                );
+            }
+            i = j;
+        }
+    }
+
+    #[test]
+    fn single_hot_key_splits_into_anchor_sub_shards() {
+        // A root domain of ONE candidate carrying all the work: the
+        // pre-intra-value planner had no parallelism to offer here at all.
+        let weights = vec![(Value(7), 1_000_000u64)];
+        let anchors: Vec<Value> = (0..100u64).map(|a| Value(a * 5)).collect();
+        let plan = plan_weighted_shards_split(&weights, 16, 16, 8, |v| {
+            assert_eq!(v, Value(7));
+            anchors.clone()
+        });
+        assert_eq!(plan.len(), 8, "hot key split heavy_split ways: {plan:?}");
+        assert_covers_domain(&plan, "single hot key");
+        for sub in &plan {
+            assert_eq!((sub.lo, sub.hi), (Value(0), Value(u64::MAX)));
+            assert!(sub.anchor.is_some());
+        }
+        // every anchor candidate lands in exactly one sub-shard
+        for &a in &anchors {
+            assert_eq!(
+                plan.iter().filter(|s| s.anchor_contains(a)).count(),
+                1,
+                "anchor {a:?} covered exactly once"
+            );
+        }
+        // factor ≤ 1 disables intra-value splitting entirely
+        for factor in [0, 1] {
+            let plan = plan_weighted_shards_split(&weights, 16, 16, factor, |_| anchors.clone());
+            assert!(plan.is_empty(), "factor {factor} defers to level-0 plan");
+        }
+        // a hot key with a single anchor candidate cannot be split
+        let plan = plan_weighted_shards_split(&weights, 16, 16, 8, |_| vec![Value(3)]);
+        assert!(plan.is_empty(), "one anchor candidate: nothing to split");
+    }
+
+    #[test]
+    fn hot_key_among_light_neighbours_gets_sub_shards() {
+        // 30 unit-weight candidates plus one dominating hot key.
+        let mut weights: Vec<(Value, u64)> = (0..31u64).map(|i| (Value(i * 2), 1)).collect();
+        weights[15].1 = 10_000; // Value(30) carries ~99.7% of the work
+        let plan = plan_weighted_shards_split(&weights, 16, 1, 8, |v| {
+            assert_eq!(v, Value(30), "only the hot key's slice is fetched");
+            (0..64u64).map(Value).collect()
+        });
+        assert_covers_domain(&plan, "hot key among light");
+        let subs: Vec<&RootShard> = plan.iter().filter(|s| s.anchor.is_some()).collect();
+        assert_eq!(subs.len(), 8, "{plan:?}");
+        for sub in &subs {
+            assert!(sub.contains(Value(30)));
+        }
+        // light neighbours are still grouped, not exploded
+        assert!(plan.len() <= 3 * 16 + 1, "{plan:?}");
+    }
+
+    #[test]
+    fn all_heavy_degenerate_plans_stay_bounded() {
+        // Adversarial weight shapes — all-heavy uniform (every candidate
+        // reaches the per-shard target, the 1-singleton-per-candidate
+        // shape), alternating hot/cold, and tiny totals that clamp the
+        // target to 1 — must never explode past the documented budgets:
+        // 2·max_shards+1 for the level-0 planner, 3·max_shards+1 with
+        // intra-value splitting.
+        let anchors: Vec<Value> = (0..256u64).map(Value).collect();
+        for n in [2usize, 8, 40, 64, 300] {
+            let uniform: Vec<(Value, u64)> = (0..n).map(|i| (Value(i as u64 * 3), 1_000)).collect();
+            let alternating: Vec<(Value, u64)> = (0..n)
+                .map(|i| (Value(i as u64 * 3), if i % 2 == 0 { 1_000_000 } else { 1 }))
+                .collect();
+            let ones: Vec<(Value, u64)> = (0..n).map(|i| (Value(i as u64 * 3), 1)).collect();
+            for max_shards in [2usize, 4, 16, 256] {
+                for (shape, weights) in [
+                    ("uniform", &uniform),
+                    ("alt", &alternating),
+                    ("ones", &ones),
+                ] {
+                    let ctx = format!("{shape} n={n} max={max_shards}");
+                    let plan = plan_weighted_shards(weights, max_shards, 1);
+                    assert!(
+                        plan.len() <= 2 * max_shards + 1,
+                        "{ctx}: level-0 budget ({})",
+                        plan.len()
+                    );
+                    if !plan.is_empty() {
+                        assert_covers_domain(&plan, &ctx);
+                    }
+                    for factor in [2usize, 8, 64, usize::MAX] {
+                        let plan =
+                            plan_weighted_shards_split(weights, max_shards, 1, factor, |_| {
+                                anchors.clone()
+                            });
+                        assert!(
+                            plan.len() <= 3 * max_shards + 1,
+                            "{ctx} factor={factor}: split budget ({})",
+                            plan.len()
+                        );
+                        if !plan.is_empty() {
+                            assert_covers_domain(&plan, &format!("{ctx} factor={factor}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn both_split_strategies_match_sequential_on_skew() {
         // Zipf-skewed triangle: the work-based plan differs materially
@@ -569,9 +933,50 @@ mod tests {
                 threads: 4,
                 shard_min_size: 1,
                 split,
+                ..ExecConfig::default()
             };
             assert_matches_sequential(&rels, &cfg, &format!("skewed triangle {split:?}"));
         }
+    }
+
+    #[test]
+    fn hot_key_workload_end_to_end() {
+        // One root value carrying ≥ 90% of the estimated work: the plan
+        // must be multi-task (anchor sub-shards), and the parallel output
+        // bit-identical to the sequential engine.
+        let rels = wcoj_datagen::hot_key_triangle(3, 96, 6);
+        let prepared = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
+        let weights = prepared.root_candidate_weights();
+        let total: u64 = weights.iter().map(|&(_, w)| w).sum();
+        let hot = weights.iter().map(|&(_, w)| w).max().unwrap();
+        assert!(
+            hot as f64 / total as f64 >= 0.9,
+            "hot key dominates: {hot}/{total}"
+        );
+        let cfg = ExecConfig {
+            threads: 4,
+            shard_min_size: 1,
+            split: ShardSplit::Work,
+            ..ExecConfig::default()
+        };
+        let plan = ShardPlan::plan(&prepared, cfg.threads * OVERSPLIT, &cfg);
+        let subs = plan.shards().iter().filter(|s| s.anchor.is_some()).count();
+        assert!(
+            subs >= 2,
+            "hot key split into ≥ 2 anchor sub-shards: {:?}",
+            plan.shards()
+        );
+        assert!(plan.len() > 1, "multi-task plan");
+        assert_matches_sequential(&rels, &cfg, "hot-key triangle");
+        // disabling intra-value splitting also stays correct (isolation
+        // only, PR 2 behaviour)
+        let cfg_off = ExecConfig {
+            heavy_split_factor: 0,
+            ..cfg.clone()
+        };
+        let plan_off = ShardPlan::plan(&prepared, cfg_off.threads * OVERSPLIT, &cfg_off);
+        assert!(plan_off.shards().iter().all(|s| s.anchor.is_none()));
+        assert_matches_sequential(&rels, &cfg_off, "hot-key triangle, split off");
     }
 
     #[test]
@@ -586,14 +991,15 @@ mod tests {
         let rels = [r, s, t];
         let prepared = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
         for split in [ShardSplit::Candidates, ShardSplit::Work] {
-            let plan = ShardPlan::plan(&prepared, 16, 1, split);
-            assert_eq!(plan.root_candidates(), 0, "{split:?}");
-            assert!(plan.root_domain_is_empty(&prepared), "{split:?}");
             let cfg = ExecConfig {
                 threads: 4,
                 shard_min_size: 1,
                 split,
+                ..ExecConfig::default()
             };
+            let plan = ShardPlan::plan(&prepared, 16, &cfg);
+            assert_eq!(plan.root_candidates(), 0, "{split:?}");
+            assert!(plan.root_domain_is_empty(&prepared), "{split:?}");
             let out = par_join(&rels, &cfg).unwrap();
             assert!(out.relation.is_empty(), "{split:?}");
             assert_eq!(out.relation.arity(), 3, "{split:?}");
@@ -609,7 +1015,15 @@ mod tests {
             rel(&[0, 2], &[&[1, 4]]),
         ])
         .unwrap();
-        let plan = ShardPlan::plan(&populated, 16, 1, ShardSplit::Work);
+        let plan = ShardPlan::plan(
+            &populated,
+            16,
+            &ExecConfig {
+                shard_min_size: 1,
+                split: ShardSplit::Work,
+                ..ExecConfig::default()
+            },
+        );
         assert!(!plan.root_domain_is_empty(&populated));
         assert_eq!(plan.tasks().len(), plan.len().max(1));
     }

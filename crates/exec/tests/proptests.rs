@@ -2,13 +2,17 @@
 //! `crates/storage/src/proptests.rs`): on random instances from
 //! `wcoj-datagen`, `par_join` must produce exactly the sequential
 //! `join_nprr` output — sorted row-set equality — for every thread count
-//! in {1, 2, 4, 8} and both index backends.
+//! in {1, 2, 4, 8} and both index backends. The intra-value parallelism
+//! properties ride along: `heavy_split_factor` (0, 1, sensible, huge)
+//! never changes output, and every planned sub-shard family tiles the
+//! anchor domain exactly once — no gap, no overlap — against the
+//! [`PreparedQuery::anchor_candidates`] slices.
 
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use wcoj_core::nprr::PreparedQuery;
 use wcoj_core::JoinQuery;
-use wcoj_exec::{par_join_prepared, ExecConfig};
+use wcoj_exec::{par_join_prepared, ExecConfig, ShardPlan, ShardSplit, OVERSPLIT};
 use wcoj_storage::{HashTrieIndex, Relation, TrieIndex, Value};
 
 /// Sorted row set of a relation — the canonical comparison form.
@@ -90,5 +94,139 @@ proptest! {
         let seq = wcoj_core::nprr::join_nprr(&q, &sol.x, sol.log2_bound).unwrap();
         let par = wcoj_exec::par_join(&rels, &ExecConfig { threads: 4, shard_min_size: 1, ..ExecConfig::default() }).unwrap();
         prop_assert_eq!(sorted_rows(&par.relation), sorted_rows(&seq.relation));
+    }
+
+    /// `heavy_split_factor` is a pure performance knob: 0 and 1 (intra-
+    /// value splitting disabled), small, large, and absurd values all
+    /// produce exactly the sequential output — on random instances, on
+    /// Zipf skew, and on the single-hot-key family, with both backends.
+    #[test]
+    fn heavy_split_factor_never_changes_output(seed in 0u64..2_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(6151));
+        let instances: [Vec<Relation>; 3] = [
+            random_instance(seed),
+            vec![
+                wcoj_datagen::zipf_relation(seed, &[0, 1], 120, 16, 1.4),
+                wcoj_datagen::zipf_relation(seed + 1, &[1, 2], 120, 16, 1.4),
+                wcoj_datagen::zipf_relation(seed + 2, &[0, 2], 120, 16, 1.4),
+            ],
+            wcoj_datagen::hot_key_triangle(seed, 48, 4),
+        ];
+        for (which, rels) in instances.iter().enumerate() {
+            let q = JoinQuery::new(rels).unwrap();
+            let sol = q.optimal_cover().unwrap();
+            let seq = wcoj_core::nprr::join_nprr(&q, &sol.x, sol.log2_bound).unwrap();
+            let expect = sorted_rows(&seq.relation);
+            let sorted = PreparedQuery::<TrieIndex>::new_indexed(rels).unwrap();
+            let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(rels).unwrap();
+            let threads = [2usize, 4, 8][rng.gen_range(0..3usize)];
+            for factor in [0usize, 1, 2, 8, 1 << 20, usize::MAX] {
+                let cfg = ExecConfig {
+                    threads,
+                    shard_min_size: 1,
+                    split: ShardSplit::Work,
+                    heavy_split_factor: factor,
+                };
+                let a = par_join_prepared(&sorted, None, &cfg).unwrap();
+                prop_assert_eq!(
+                    sorted_rows(&a.relation), expect.clone(),
+                    "instance {}, factor {}, seed {}", which, factor, seed
+                );
+                let b = par_join_prepared(&hashed, None, &cfg).unwrap();
+                prop_assert_eq!(
+                    sorted_rows(&b.relation), expect.clone(),
+                    "hash, instance {}, factor {}, seed {}", which, factor, seed
+                );
+            }
+        }
+    }
+
+    /// Planner soundness: every plan tiles root × anchor space exactly
+    /// once. Root ranges are gap-free over `[0, u64::MAX]`; within a run
+    /// of sub-shards sharing a root range the anchor ranges are gap-free
+    /// over `[0, u64::MAX]`; and every `PreparedQuery::anchor_candidates`
+    /// slice value of every root candidate in a sub-split range falls in
+    /// exactly one sub-shard.
+    #[test]
+    fn sub_shard_plans_tile_the_anchor_domain(seed in 0u64..2_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(3571));
+        let rels = if seed % 3 == 0 {
+            random_instance(seed)
+        } else {
+            wcoj_datagen::hot_key_triangle(seed, 16 + (seed % 97) as usize, (seed % 9) as usize)
+        };
+        let prepared = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
+        let factor = [2usize, 4, 8, 64][rng.gen_range(0..4usize)];
+        let threads = [2usize, 4, 8][rng.gen_range(0..3usize)];
+        let cfg = ExecConfig {
+            threads,
+            shard_min_size: 1,
+            split: ShardSplit::Work,
+            heavy_split_factor: factor,
+        };
+        let plan = ShardPlan::plan(&prepared, threads * OVERSPLIT, &cfg);
+        // degenerate single-run plans have nothing to tile
+        let shards = plan.shards();
+        if !shards.is_empty() {
+        // task budget: never more than 3 × requested + 1
+        prop_assert!(shards.len() <= 3 * threads * OVERSPLIT + 1, "{:?}", shards);
+        // root ranges tile [0, u64::MAX]
+        prop_assert_eq!(shards[0].lo, Value(0));
+        prop_assert_eq!(shards.last().unwrap().hi, Value(u64::MAX));
+        let mut i = 0;
+        while i < shards.len() {
+            let s = shards[i];
+            let mut j = i + 1;
+            while j < shards.len() && shards[j].lo == s.lo {
+                prop_assert_eq!(shards[j].hi, s.hi, "run shares root range");
+                j += 1;
+            }
+            if s.anchor.is_some() || j - i > 1 {
+                // a run of anchor sub-shards: tiles [0, u64::MAX]
+                prop_assert!(j - i >= 2, "anchored run has ≥ 2 sub-shards");
+                let mut alo = 0u64;
+                for sub in &shards[i..j] {
+                    let a = sub.anchor.expect("run fully anchored");
+                    prop_assert_eq!(a.lo.0, alo, "anchor ranges gap-free");
+                    prop_assert!(a.lo <= a.hi);
+                    alo = a.hi.0.wrapping_add(1);
+                }
+                prop_assert_eq!(shards[j - 1].anchor.unwrap().hi, Value(u64::MAX));
+                // every anchor candidate of every root candidate in the
+                // range is owned by exactly one sub-shard
+                for v in prepared
+                    .root_candidates()
+                    .into_iter()
+                    .filter(|&v| s.contains(v))
+                {
+                    for a in prepared.anchor_candidates(v) {
+                        let owners = shards[i..j]
+                            .iter()
+                            .filter(|sub| sub.anchor_contains(a))
+                            .count();
+                        prop_assert_eq!(
+                            owners, 1,
+                            "anchor candidate {:?} under root {:?} owned once", a, v
+                        );
+                    }
+                }
+            }
+            if j < shards.len() {
+                prop_assert_eq!(shards[j].lo.0, s.hi.0.wrapping_add(1), "root gap-free");
+            }
+            i = j;
+        }
+        // differential backstop: summing the per-shard runs re-creates the
+        // unrestricted row set exactly (no row lost or double-counted)
+        let (x, b) = prepared.resolve_cover(None).unwrap();
+        let (mut expect, _) = prepared.run_shard(&x, b, None);
+        let mut got: Vec<Vec<Value>> = Vec::new();
+        for &shard in shards {
+            got.extend(prepared.run_shard(&x, b, Some(shard)).0);
+        }
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect, "shard row sets partition the output");
+        }
     }
 }

@@ -257,6 +257,40 @@ mod tests {
     }
 
     #[test]
+    fn hot_key_workload_through_catalog_routes() {
+        // A single-hot-key workload through both catalog routes: the
+        // per-call parallel engine and the shared service pool. The
+        // intra-value sub-shard planner sits under both; outputs must be
+        // bit-identical to the sequential run, and WCOJ_HEAVY_SPLIT-style
+        // factor overrides (via ExecConfig) must not change them.
+        use std::sync::Arc;
+        use wcoj_service::{Service, ServiceConfig};
+        let rels = wcoj_datagen::hot_key_triangle(17, 64, 4);
+        let mut c = Catalog::new();
+        for (name, rel) in ["R", "S", "T"].iter().zip(rels) {
+            c.insert(*name, rel);
+        }
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let seq = execute(&q, &c).unwrap();
+        for factor in [0usize, 1, 8] {
+            c.set_parallel(Some(wcoj_exec::ExecConfig {
+                threads: 4,
+                shard_min_size: 1,
+                heavy_split_factor: factor,
+                ..wcoj_exec::ExecConfig::default()
+            }));
+            let par = execute(&q, &c).unwrap();
+            assert_eq!(par.relation, seq.relation, "parallel, factor {factor}");
+        }
+        c.set_parallel(None);
+        let service = Arc::new(Service::new(ServiceConfig::with_workers(4)));
+        c.set_service(Some(Arc::clone(&service)));
+        let pooled = execute(&q, &c).unwrap();
+        assert_eq!(pooled.relation, seq.relation, "service route");
+        assert_eq!(service.submitted(), 1);
+    }
+
+    #[test]
     fn string_constants_filter() {
         let mut c = Catalog::new();
         let r = load_csv("alice,1\nbob,2\n", c.dictionary()).unwrap();

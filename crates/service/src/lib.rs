@@ -12,19 +12,26 @@
 //!
 //! * [`Service::submit`] plans a prepared query's shards with the
 //!   work-based splitter ([`ShardPlan::plan`] over
-//!   [`PreparedQuery::root_candidate_weights`]: heavy root values get
-//!   singleton shards so one hot key cannot pin a worker), pushes one
-//!   task per shard onto the shared injector queue, and returns a
-//!   [`QueryHandle`] immediately — submission never blocks on other
+//!   [`PreparedQuery::root_candidate_weights`]). The plan is
+//!   **two-level**: heavy root values get singleton shards so one hot
+//!   key cannot drag its neighbours along, and a value heavy enough to
+//!   span several work targets is further broken into *anchor
+//!   sub-shards* (`RootShard::anchor` ranges over the level-1 attribute,
+//!   [`ExecConfig::heavy_split_factor`]) so even a single hot key
+//!   spreads across the pool. Sub-shards are just more tasks on the
+//!   shared injector; submission pushes one task per (sub-)shard and
+//!   returns a [`QueryHandle`] immediately — it never blocks on other
 //!   queries.
 //! * Workers pull tasks FIFO off the injector, so shards of concurrent
 //!   queries interleave freely; each task runs the sequential engine
-//!   restricted to its root range ([`PreparedQuery::run_shard`]) against
-//!   the query's shared, immutable indexes.
+//!   restricted to its root range — and, for a sub-shard, its anchor
+//!   range — ([`PreparedQuery::run_shard`]) against the query's shared,
+//!   immutable indexes.
 //! * [`QueryHandle::wait`] blocks until the query's last shard lands,
-//!   then reassembles per-shard row sets **in shard (= root-value) order**
-//!   and folds per-shard [`JoinStats`] with [`JoinStats::absorb`] — the
-//!   output relation is bit-identical to the sequential
+//!   then reassembles per-shard row sets **in slot order** — root-value
+//!   order, then anchor order within a sub-split root value — and folds
+//!   per-shard [`JoinStats`] with [`JoinStats::absorb`] — the output
+//!   relation is bit-identical to the sequential
 //!   [`join_nprr`](wcoj_core::nprr::join_nprr), no matter how the pool
 //!   interleaved the shards.
 //!
@@ -311,12 +318,7 @@ impl Service {
         prepared: &PreparedQuery<S>,
         cfg: &ExecConfig,
     ) -> Vec<Option<RootShard>> {
-        let plan = ShardPlan::plan(
-            prepared,
-            self.workers.len() * OVERSPLIT,
-            cfg.shard_min_size,
-            cfg.split,
-        );
+        let plan = ShardPlan::plan(prepared, self.workers.len() * OVERSPLIT, cfg);
         if plan.root_domain_is_empty(prepared) {
             Vec::new()
         } else {

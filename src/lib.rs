@@ -12,7 +12,7 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`core`] (`wcoj-core`) | the NPRR algorithm (§5), the Loomis–Whitney algorithm (§4), arity-≤2 star/cycle joins (§7.1), relaxed joins (§7.2), full CQs + FDs (§7.3), algorithmic BT/LW (§3) |
-//! | [`exec`] (`wcoj-exec`) | the partition-parallel execution engine: root-domain sharding over a worker pool (`par_join`, `ExecConfig`, `Algorithm::NprrParallel`) |
+//! | [`exec`] (`wcoj-exec`) | the partition-parallel execution engine: two-level root-domain sharding over a worker pool — heavy root values split further into anchor sub-shards (`par_join`, `ExecConfig`, `Algorithm::NprrParallel`) |
 //! | [`service`] (`wcoj-service`) | the shared-pool concurrent query scheduler: one global worker pool serving many in-flight queries (`Service`, `QueryHandle`) |
 //! | [`storage`] | relations, relational algebra, the counted-trie search tree |
 //! | [`hypergraph`] | query hypergraphs, fractional covers, AGM bounds, Lemma 3.2 tightening, Lemma 7.2 half-integrality |

@@ -1,0 +1,316 @@
+//! Skew-focused stress/property suite for intra-value parallelism.
+//!
+//! NPRR's worst-case optimality hinges on handling skew; this suite pins
+//! the runtime's side of that bargain. A Zipf or single-hot-key workload
+//! must not change *anything* observable: across thread counts
+//! {1, 2, 4, 8}, both index backends, both `ShardSplit` modes, and any
+//! `heavy_split_factor`, the parallel engines produce rows bit-identical
+//! (including row order) to the sequential `join_nprr`, and the absorbed
+//! `JoinStats` are bit-identical to a deterministic shard-by-shard
+//! sequential re-run of the same plan — i.e. independent of pool size,
+//! scheduling, and interleaving. A heavy-keyed query racing itself
+//! through the shared service pool is the regression for the latter.
+//!
+//! Interleavings only really shake out with optimizations on; CI runs
+//! this suite in release mode (`cargo test --release --test skew_stress`)
+//! in addition to the plain debug `cargo test`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wcoj::core::nprr::PreparedQuery;
+use wcoj::core::JoinStats;
+use wcoj::datagen as gen;
+use wcoj::exec::{par_join_prepared, ShardPlan, OVERSPLIT};
+use wcoj::prelude::*;
+use wcoj::storage::{HashTrieIndex, SearchTree, TrieIndex};
+
+/// The skewed instance families: high-exponent Zipf triangles (many
+/// moderately hot keys) and the single-hot-key triangle (one root value
+/// carrying ≥ 90% of the estimated work — the shape intra-value
+/// parallelism exists for).
+fn skewed_instances() -> Vec<(String, Vec<Relation>)> {
+    let mut out = Vec::new();
+    for i in 0..2u64 {
+        out.push((
+            format!("zipf_hot/{i}"),
+            vec![
+                gen::zipf_relation(201 + i, &[0, 1], 150, 16, 1.6),
+                gen::zipf_relation(211 + i, &[1, 2], 150, 16, 1.6),
+                gen::zipf_relation(221 + i, &[0, 2], 150, 16, 1.6),
+            ],
+        ));
+        out.push((
+            format!("single_hot_key/{i}"),
+            gen::hot_key_triangle(231 + i, 80 + 16 * i as usize, 5),
+        ));
+    }
+    out
+}
+
+/// Asserts rows are identical *including order* — `Relation` equality
+/// already covers it (schema + row vector); the explicit row-by-row
+/// check documents the bit-identical claim.
+fn assert_bit_identical(got: &Relation, want: &Relation, ctx: &str) {
+    assert_eq!(got.schema(), want.schema(), "{ctx}: schema");
+    assert_eq!(got.len(), want.len(), "{ctx}: cardinality");
+    for (i, (g, w)) in got.iter_rows().zip(want.iter_rows()).enumerate() {
+        assert_eq!(g, w, "{ctx}: row {i} (order matters)");
+    }
+    assert_eq!(got, want, "{ctx}");
+}
+
+/// Field-by-field `JoinStats` equality (`JoinStats` has no `PartialEq`;
+/// the explicit fields document exactly what must be deterministic).
+fn assert_stats_identical(got: &JoinStats, want: &JoinStats, ctx: &str) {
+    assert_eq!(got.algorithm_used, want.algorithm_used, "{ctx}: algorithm");
+    assert_eq!(got.shards, want.shards, "{ctx}: shards");
+    assert_eq!(got.case_a, want.case_a, "{ctx}: case_a");
+    assert_eq!(got.case_b, want.case_b, "{ctx}: case_b");
+    assert_eq!(
+        got.intermediate_tuples, want.intermediate_tuples,
+        "{ctx}: intermediate_tuples"
+    );
+    assert_eq!(got.cover, want.cover, "{ctx}: cover");
+    assert!(
+        (got.log2_agm_bound - want.log2_agm_bound).abs() < 1e-12,
+        "{ctx}: log2_agm_bound"
+    );
+}
+
+/// The `JoinStats` a parallel run must report: a sequential
+/// shard-by-shard re-run of exactly the plan `par_join_prepared`
+/// schedules for `cfg` — fully deterministic, so pool interleaving can
+/// never show through in the absorbed totals.
+fn expected_par_stats<S>(prepared: &PreparedQuery<S>, cfg: &ExecConfig) -> JoinStats
+where
+    S: SearchTree + Sync,
+{
+    let (x, log2_bound) = prepared.resolve_cover(None).expect("cover");
+    let mut stats = JoinStats {
+        algorithm_used: "nprr-parallel",
+        log2_agm_bound: log2_bound,
+        cover: x.clone(),
+        ..JoinStats::default()
+    };
+    if cfg.threads <= 1 {
+        // par_join runs the sequential engine in place for one thread
+        let (_, run) = prepared.run_shard(&x, log2_bound, None);
+        stats.absorb(&run);
+        return stats;
+    }
+    let plan = ShardPlan::plan(prepared, cfg.threads * OVERSPLIT, cfg);
+    if plan.root_domain_is_empty(prepared) {
+        return stats;
+    }
+    for shard in plan.tasks() {
+        let (_, run) = prepared.run_shard(&x, log2_bound, shard);
+        stats.absorb(&run);
+    }
+    stats
+}
+
+/// One prepared query through `par_join_prepared`, checked for
+/// bit-identical rows against the sequential oracle and bit-identical
+/// stats against the deterministic shard-by-shard re-run — twice, so a
+/// scheduling-dependent wobble between repeat runs also fails.
+fn check_par_run<S>(prepared: &PreparedQuery<S>, seq: &Relation, cfg: &ExecConfig, ctx: &str)
+where
+    S: SearchTree + Sync,
+{
+    let expect_stats = expected_par_stats(prepared, cfg);
+    let first = par_join_prepared(prepared, None, cfg).expect("par join");
+    assert_bit_identical(&first.relation, seq, ctx);
+    assert_stats_identical(&first.stats, &expect_stats, ctx);
+    let again = par_join_prepared(prepared, None, cfg).expect("par join repeat");
+    assert_bit_identical(&again.relation, &first.relation, &format!("{ctx}: repeat"));
+    assert_stats_identical(&again.stats, &expect_stats, &format!("{ctx}: repeat"));
+}
+
+/// The full matrix: skewed families × threads {1, 2, 4, 8} × both index
+/// backends × both `ShardSplit` modes, rows and stats bit-identical.
+#[test]
+fn skew_matrix_matches_sequential() {
+    for (name, rels) in skewed_instances() {
+        let seq = join_with(&rels, Algorithm::Nprr, None)
+            .expect("sequential oracle")
+            .relation;
+        let sorted = PreparedQuery::<TrieIndex>::new_indexed(&rels).expect("prepare");
+        let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).expect("prepare");
+        for threads in [1usize, 2, 4, 8] {
+            for split in [ShardSplit::Work, ShardSplit::Candidates] {
+                let cfg = ExecConfig {
+                    threads,
+                    shard_min_size: 1,
+                    split,
+                    ..ExecConfig::default()
+                };
+                let ctx = format!("{name}, t={threads}, {split:?}");
+                check_par_run(&sorted, &seq, &cfg, &format!("{ctx}, sorted"));
+                check_par_run(&hashed, &seq, &cfg, &format!("{ctx}, hashed"));
+            }
+        }
+    }
+}
+
+/// Acceptance shape, exec path: a single-hot-key workload (one root
+/// value with ≥ 90% of the estimated work) yields a multi-task plan
+/// with anchor sub-shards, and its parallel output is bit-identical to
+/// `join_nprr`.
+#[test]
+fn single_hot_key_produces_multi_task_plan_exec() {
+    let rels = gen::hot_key_triangle(77, 120, 6);
+    let prepared = PreparedQuery::<TrieIndex>::new_indexed(&rels).expect("prepare");
+    let weights = prepared.root_candidate_weights();
+    let total: u64 = weights.iter().map(|&(_, w)| w).sum();
+    let hot = weights.iter().map(|&(_, w)| w).max().expect("non-empty");
+    assert!(
+        hot as f64 / total as f64 >= 0.9,
+        "one root value carries ≥ 90% of the work: {hot}/{total}"
+    );
+    let cfg = ExecConfig {
+        threads: 4,
+        shard_min_size: 1,
+        ..ExecConfig::default()
+    };
+    let plan = ShardPlan::plan(&prepared, cfg.threads * OVERSPLIT, &cfg);
+    assert!(plan.len() > 1, "multi-task plan: {:?}", plan.shards());
+    let subs = plan.shards().iter().filter(|s| s.anchor.is_some()).count();
+    assert!(
+        subs >= 2,
+        "the hot key is split into anchor sub-shards: {:?}",
+        plan.shards()
+    );
+    let seq = join_with(&rels, Algorithm::Nprr, None)
+        .expect("sequential oracle")
+        .relation;
+    check_par_run(&prepared, &seq, &cfg, "hot key, exec path");
+}
+
+/// Acceptance shape, service path: the same hot-key workload through
+/// `Service::submit` schedules the sub-shards as ordinary injector tasks
+/// and reassembles bit-identically across pool sizes.
+#[test]
+fn single_hot_key_produces_multi_task_plan_service() {
+    let rels = gen::hot_key_triangle(78, 120, 6);
+    let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).expect("prepare"));
+    let seq = join_with(&rels, Algorithm::Nprr, None)
+        .expect("sequential oracle")
+        .relation;
+    for workers in [1usize, 2, 4, 8] {
+        let service = Service::new(ServiceConfig::with_workers(workers));
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let layout = service.shard_layout(&*prepared, &cfg);
+        assert!(layout.len() > 1, "multi-task layout @ {workers} workers");
+        assert!(
+            layout
+                .iter()
+                .filter(|t| t.is_some_and(|s| s.anchor.is_some()))
+                .count()
+                >= 2,
+            "sub-shard tasks on the injector @ {workers} workers"
+        );
+        let out = service
+            .submit(&prepared, &cfg)
+            .expect("submit")
+            .wait()
+            .expect("join");
+        assert_bit_identical(&out.relation, &seq, &format!("service @ {workers} workers"));
+
+        // absorbed stats equal a shard-by-shard sequential re-run of the
+        // exact layout the pool interleaved
+        let (x, log2_bound) = prepared.resolve_cover(None).expect("cover");
+        let mut expect_stats = JoinStats {
+            algorithm_used: "nprr-service",
+            log2_agm_bound: log2_bound,
+            cover: x.clone(),
+            ..JoinStats::default()
+        };
+        for shard in layout {
+            let (_, run) = prepared.run_shard(&x, log2_bound, shard);
+            expect_stats.absorb(&run);
+        }
+        assert_stats_identical(
+            &out.stats,
+            &expect_stats,
+            &format!("service @ {workers} workers"),
+        );
+    }
+}
+
+/// Determinism regression: a heavy-keyed query racing itself through the
+/// shared pool (with noise queries around it) must come back with
+/// identical rows, row order, and stats every time.
+#[test]
+fn heavy_key_query_racing_itself_is_deterministic() {
+    let rels = gen::hot_key_triangle(79, 100, 5);
+    let seq = join_with(&rels, Algorithm::Nprr, None).unwrap().relation;
+    let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+    let noise = Arc::new(
+        PreparedQuery::<TrieIndex>::new_indexed(&[
+            gen::zipf_relation(301, &[0, 1], 120, 14, 1.5),
+            gen::zipf_relation(302, &[1, 2], 120, 14, 1.5),
+            gen::zipf_relation(303, &[0, 2], 120, 14, 1.5),
+        ])
+        .unwrap(),
+    );
+    let service = Service::new(ServiceConfig::with_workers(3));
+    let cfg = ExecConfig {
+        shard_min_size: 1,
+        ..service.exec_config()
+    };
+    for round in 0..8 {
+        let n1 = service.submit(&noise, &cfg).unwrap();
+        let a = service.submit(&prepared, &cfg).unwrap();
+        let b = service.submit(&prepared, &cfg).unwrap();
+        let n2 = service.submit(&noise, &cfg).unwrap();
+        let (a, b) = (a.wait().unwrap(), b.wait().unwrap());
+        assert_bit_identical(&a.relation, &b.relation, &format!("self-race {round}"));
+        assert_bit_identical(&a.relation, &seq, &format!("vs sequential {round}"));
+        assert_stats_identical(&a.stats, &b.stats, &format!("self-race stats {round}"));
+        n1.wait().unwrap();
+        n2.wait().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random Zipf exponents, hot-key widths, pool sizes, and
+    /// `heavy_split_factor` values (including the degenerate 0, 1, and
+    /// huge): the service output stays bit-identical to `join_nprr`.
+    #[test]
+    fn prop_skewed_service_with_random_split_factor(seed in 0u64..2_000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(9973));
+        let rels = if seed % 2 == 0 {
+            let s = 1.1 + f64::from(rng.gen_range(0..8u32)) / 10.0;
+            vec![
+                gen::zipf_relation(seed, &[0, 1], 120, 14, s),
+                gen::zipf_relation(seed + 1, &[1, 2], 120, 14, s),
+                gen::zipf_relation(seed + 2, &[0, 2], 120, 14, s),
+            ]
+        } else {
+            gen::hot_key_triangle(seed, rng.gen_range(16..96), rng.gen_range(0..8))
+        };
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap().relation;
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let workers = [1usize, 2, 4, 8][rng.gen_range(0..4usize)];
+        let factor = [0usize, 1, 2, 8, 1 << 30][rng.gen_range(0..5usize)];
+        let service = Service::new(ServiceConfig::with_workers(workers));
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            heavy_split_factor: factor,
+            ..service.exec_config()
+        };
+        let out = service.submit(&prepared, &cfg).unwrap().wait().unwrap();
+        assert_bit_identical(
+            &out.relation,
+            &seq,
+            &format!("seed {seed}, {workers} workers, factor {factor}"),
+        );
+    }
+}
