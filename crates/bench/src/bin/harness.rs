@@ -4,8 +4,8 @@
 //! harness [--quick] [--json DIR] [e1 e2 …]
 //! ```
 //!
-//! With no experiment ids, runs all fifteen. `--quick` shrinks sweeps,
-//! `--json DIR` additionally writes each table as JSON.
+//! With no experiment ids, runs every experiment (e1–e19). `--quick`
+//! shrinks sweeps, `--json DIR` additionally writes each table as JSON.
 
 use std::io::Write as _;
 use wcoj_bench::{run_experiment, ALL_EXPERIMENTS};

@@ -937,6 +937,141 @@ pub fn e18_heavy_key_scaling(quick: bool) -> Vec<Table> {
     vec![t]
 }
 
+/// E19 — service admission control (`wcoj-service` bounded injector): a
+/// 2-worker service with a small queue bound flooded from 2–8 submitter
+/// threads (shed-and-retry, so overload delays but never loses queries).
+/// Records accepted/shed counts and the p50/p99 submit-to-result wait
+/// latency of accepted queries; every output is verified bit-identical
+/// to the sequential engine. Shed counts grow with the offered load
+/// while the bounded queue keeps worker-side latency flat — the
+/// backpressure story in one table.
+#[must_use]
+pub fn e19_overload_shedding(quick: bool) -> Vec<Table> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use wcoj_core::nprr::PreparedQuery;
+    use wcoj_exec::ExecConfig;
+    use wcoj_service::{Service, ServiceConfig, SubmitError};
+
+    const QUEUE_DEPTH: usize = 4;
+    let mut t = Table::new(
+        "e19",
+        "wcoj-service admission control: flood past the queue bound, shed-and-retry",
+        &[
+            "submitters",
+            "offered",
+            "accepted",
+            "shed",
+            "p50_wait_ms",
+            "p99_wait_ms",
+            "identical",
+        ],
+        "shed grows with offered load (0 possible at low concurrency); accepted = offered \
+         (retries); identical = true",
+    );
+    let size = if quick { 1 } else { 3 };
+    let instances: Vec<(&str, Vec<Relation>)> = vec![
+        ("triangle_hard", gen::example_2_2(64 * size as u64)),
+        ("cycle4", gen::cycle_instance(13, 4, 120 * size, 40)),
+        (
+            "zipf_triangle",
+            vec![
+                gen::zipf_relation(21, &[0, 1], 150 * size, 30, 1.2),
+                gen::zipf_relation(22, &[1, 2], 150 * size, 30, 1.2),
+                gen::zipf_relation(23, &[0, 2], 150 * size, 30, 1.2),
+            ],
+        ),
+        ("figure2", gen::worked_example(7, 40 * size, 6)),
+    ];
+    let prepared: Vec<Arc<PreparedQuery>> = instances
+        .iter()
+        .map(|(_, rels)| Arc::new(PreparedQuery::new(rels).expect("well-formed instance")))
+        .collect();
+    let expected: Vec<Relation> = instances
+        .iter()
+        .map(|(_, rels)| {
+            join_with(rels, Algorithm::Nprr, None)
+                .expect("sequential oracle")
+                .relation
+        })
+        .collect();
+
+    let levels: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    for &submitters in levels {
+        // Fresh service per level so shed/latency columns are per-row.
+        let service = Arc::new(Service::new(
+            ServiceConfig::with_workers(2).with_queue_depth(QUEUE_DEPTH),
+        ));
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let per_submitter = if quick { 3 } else { 6 };
+        let offered = submitters * per_submitter;
+        let all_ok = AtomicBool::new(true);
+        let local_shed = AtomicU64::new(0);
+        let waits_ms: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(offered));
+        std::thread::scope(|scope| {
+            for submitter in 0..submitters {
+                let service = Arc::clone(&service);
+                let cfg = cfg.clone();
+                let prepared = &prepared;
+                let expected = &expected;
+                let all_ok = &all_ok;
+                let local_shed = &local_shed;
+                let waits_ms = &waits_ms;
+                scope.spawn(move || {
+                    for j in 0..per_submitter {
+                        let q = (submitter + j) % prepared.len();
+                        let start = std::time::Instant::now();
+                        let handle = loop {
+                            match service.submit(&prepared[q], &cfg) {
+                                Ok(handle) => break handle,
+                                Err(SubmitError::Overloaded { .. }) => {
+                                    local_shed.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("unexpected submit error: {e}"),
+                            }
+                        };
+                        let out = handle.wait().expect("accepted query evaluates");
+                        waits_ms
+                            .lock()
+                            .expect("collector")
+                            .push(start.elapsed().as_secs_f64() * 1e3);
+                        if out.relation != expected[q] {
+                            all_ok.store(false, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let counters = service.counters();
+        assert_eq!(
+            counters.shed,
+            local_shed.load(Ordering::Relaxed),
+            "sheds reported, not dropped"
+        );
+        assert_eq!(counters.submitted, offered as u64, "retries land all");
+        assert_eq!(counters.completed, offered as u64);
+        let mut waits = waits_ms.into_inner().expect("collector");
+        waits.sort_by(f64::total_cmp);
+        let pct = |p: f64| waits[((waits.len() - 1) as f64 * p) as usize];
+        let ok = all_ok.load(Ordering::Relaxed);
+        assert!(ok, "service output diverged from sequential under overload");
+        t.row(vec![
+            submitters.to_string(),
+            offered.to_string(),
+            counters.submitted.to_string(),
+            counters.shed.to_string(),
+            format!("{:.2}", pct(0.50)),
+            format!("{:.2}", pct(0.99)),
+            ok.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1040,6 +1175,17 @@ mod tests {
             assert_eq!(row[5], "true");
         }
     }
+    #[test]
+    fn e19_smoke() {
+        let t = e19_overload_shedding(true);
+        // 2 concurrency levels; identical verified, sheds reported
+        assert_eq!(t[0].rows.len(), 2);
+        for row in &t[0].rows {
+            assert_eq!(row[6], "true");
+            assert_eq!(row[1], row[2], "retries land every offered query");
+        }
+    }
+
     #[test]
     fn e18_smoke() {
         let t = e18_heavy_key_scaling(true);

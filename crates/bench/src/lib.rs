@@ -16,10 +16,11 @@ pub use table::{time_secs, Table};
 /// All experiment ids, in order. E1–E15 regenerate the paper's claims;
 /// E16 records the partition-parallel engine's scaling, E17 the shared-
 /// pool query service's concurrent throughput, E18 intra-value
-/// parallelism on a single-hot-key workload.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+/// parallelism on a single-hot-key workload, E19 service admission
+/// control (shed counts + wait-latency percentiles under a flood).
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// Runs one experiment by id. `quick` shrinks the sweeps for CI-speed runs.
@@ -47,6 +48,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e16" => experiments::e16_par_scaling(quick),
         "e17" => experiments::e17_service_throughput(quick),
         "e18" => experiments::e18_heavy_key_scaling(quick),
+        "e19" => experiments::e19_overload_shedding(quick),
         other => panic!("unknown experiment id {other}"),
     }
 }

@@ -218,7 +218,10 @@ impl<S: SearchTree> PreparedQuery<S> {
     /// shard to one worker (Zipf-skewed data does exactly this).
     ///
     /// Candidates appear in the same sorted order as
-    /// [`Self::root_candidates`]; weights are always `≥ 1`.
+    /// [`Self::root_candidates`]; weights are always `≥ 1`. Fanouts are
+    /// summed with saturating arithmetic: an adversarially wide instance
+    /// clamps a candidate's weight at `u64::MAX` instead of wrapping to a
+    /// tiny value and degenerating the work-based shard plan.
     #[must_use]
     pub fn root_candidate_weights(&self) -> Vec<(Value, u64)> {
         let candidates = self.root_candidates();
@@ -240,15 +243,15 @@ impl<S: SearchTree> PreparedQuery<S> {
         candidates
             .into_iter()
             .map(|v| {
-                let fanout: u64 = root_edges
+                let fanout = root_edges
                     .iter()
                     .map(|&e| {
                         let trie = &self.tries[e];
                         trie.descend(trie.root(), v)
                             .map_or(0, |n| trie.distinct_count(n, 1) as u64)
                     })
-                    .sum();
-                (v, 1 + fanout)
+                    .fold(0u64, u64::saturating_add);
+                (v, fanout.saturating_add(1))
             })
             .collect()
     }

@@ -21,6 +21,11 @@ pub enum QueryError {
     AlgorithmMismatch(&'static str),
     /// A user-supplied cover vector was rejected.
     BadCover(String),
+    /// An executing service shed the query under overload: its admission
+    /// queue was at the configured bound. The query was never scheduled;
+    /// retrying later (or submitting with a blocking/deadline variant) is
+    /// safe.
+    Overloaded,
 }
 
 impl fmt::Display for QueryError {
@@ -31,6 +36,12 @@ impl fmt::Display for QueryError {
             QueryError::Storage(e) => write!(f, "storage error: {e}"),
             QueryError::AlgorithmMismatch(m) => write!(f, "algorithm mismatch: {m}"),
             QueryError::BadCover(m) => write!(f, "bad cover: {m}"),
+            QueryError::Overloaded => {
+                write!(
+                    f,
+                    "service overloaded: submission shed by admission control"
+                )
+            }
         }
     }
 }

@@ -141,7 +141,11 @@ impl ExecConfig {
         match std::env::var("WCOJ_SHARD_SPLIT").as_deref().map(str::trim) {
             Ok("candidates") => cfg.split = ShardSplit::Candidates,
             Ok("work") => cfg.split = ShardSplit::Work,
-            _ => {}
+            Ok(other) => warn_malformed_env(
+                "WCOJ_SHARD_SPLIT",
+                &format!("unrecognised value {other:?} (expected \"work\" or \"candidates\")"),
+            ),
+            Err(_) => {}
         }
         if let Some(k) = read_env_usize("WCOJ_HEAVY_SPLIT") {
             cfg.heavy_split_factor = k;
@@ -150,8 +154,52 @@ impl ExecConfig {
     }
 }
 
-fn read_env_usize(key: &str) -> Option<usize> {
-    std::env::var(key).ok()?.trim().parse().ok()
+/// Keys of `WCOJ_*` environment knobs whose values were malformed, in the
+/// order first seen. Each key is warned about (on stderr) exactly once per
+/// process; this registry lets tests and diagnostics observe that a knob
+/// silently fell back to its default.
+static MALFORMED_ENV: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Records (and warns once per key about) a malformed environment knob.
+fn warn_malformed_env(key: &str, problem: &str) {
+    let mut seen = MALFORMED_ENV
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if seen.iter().any(|k| k == key) {
+        return;
+    }
+    seen.push(key.to_owned());
+    eprintln!("wcoj: ignoring {key}: {problem}; using the default");
+}
+
+/// Environment knobs that have been warned about as malformed so far (one
+/// entry per key, first-seen order). A `WCOJ_HEAVY_SPLIT=eight` typo no
+/// longer reverts to the default with *no* signal: the first read warns on
+/// stderr and the key shows up here.
+#[must_use]
+pub fn malformed_env_warnings() -> Vec<String> {
+    MALFORMED_ENV
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Reads a `usize` environment knob. Unset → `None`; malformed (not a
+/// non-negative integer) → `None` **plus** a one-time stderr warning and an
+/// entry in [`malformed_env_warnings`], so a typo like
+/// `WCOJ_HEAVY_SPLIT=eight` cannot silently revert to defaults. Shared by
+/// every numeric `WCOJ_*` knob (`WCOJ_THREADS`, `WCOJ_SHARD_MIN_SIZE`,
+/// `WCOJ_HEAVY_SPLIT`, and `wcoj-service`'s `WCOJ_QUEUE_DEPTH`).
+#[must_use]
+pub fn read_env_usize(key: &str) -> Option<usize> {
+    let raw = std::env::var(key).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn_malformed_env(key, &format!("value {raw:?} is not a non-negative integer"));
+            None
+        }
+    }
 }
 
 /// Splits the sorted root-candidate list into at most `max_shards`
@@ -224,7 +272,7 @@ pub fn plan_weighted_shards(
     if max_shards <= 1 {
         return Vec::new();
     }
-    let total: u128 = weights.iter().map(|&(_, w)| u128::from(w)).sum();
+    let total = saturating_total(weights);
     let target = total.div_ceil(max_shards as u128).max(1);
 
     // Group boundaries: exclusive end index of each group of candidates.
@@ -242,7 +290,7 @@ pub fn plan_weighted_shards(
             acc = 0;
             open = false;
         } else {
-            acc += w;
+            acc = acc.saturating_add(w);
             open = true;
             if acc >= target {
                 bounds.push(i + 1);
@@ -273,6 +321,16 @@ pub fn plan_weighted_shards(
         lo = Value(hi.0.wrapping_add(1));
     }
     out
+}
+
+/// Total estimated work of a weight list, accumulated in `u128` with
+/// saturating adds so the per-shard target math is monotone even for
+/// adversarial near-`u64::MAX` per-candidate weights (a wrapped total
+/// would collapse the plan into one degenerate shard).
+fn saturating_total(weights: &[(Value, u64)]) -> u128 {
+    weights
+        .iter()
+        .fold(0u128, |acc, &(_, w)| acc.saturating_add(u128::from(w)))
 }
 
 /// One planned group of root candidates: the exclusive end index of its
@@ -327,7 +385,7 @@ pub fn plan_weighted_shards_split(
     if weights.is_empty() || max_shards <= 1 {
         return Vec::new();
     }
-    let total: u128 = weights.iter().map(|&(_, w)| u128::from(w)).sum();
+    let total = saturating_total(weights);
     // Sub-split target: what a full complement of shards would each carry.
     let target_split = total.div_ceil(max_shards as u128).max(1);
     // Level-0 grouping respects the same candidate floor as
@@ -386,7 +444,7 @@ pub fn plan_weighted_shards_split(
             acc = 0;
             open = false;
         } else {
-            acc += w;
+            acc = acc.saturating_add(w);
             open = true;
             if acc >= target_group {
                 groups.push(GroupSpec {
@@ -1151,7 +1209,98 @@ mod tests {
     }
 
     #[test]
+    fn near_max_weights_never_collapse_the_plan() {
+        // Adversarial weights close to u64::MAX: with wrapping arithmetic
+        // the total (and the per-shard target derived from it) would wrap
+        // to a tiny value, every candidate would look "heavy ≫ target",
+        // and degenerate shapes could fall out. Saturating accumulation
+        // keeps the plan a bounded, covering, multi-shard split.
+        let weights: Vec<(Value, u64)> = (0..8u64).map(|i| (Value(i * 10), u64::MAX - i)).collect();
+        for max_shards in [2usize, 4, 16] {
+            let plan = plan_weighted_shards(&weights, max_shards, 1);
+            assert!(
+                plan.len() >= 2,
+                "max={max_shards}: near-MAX weights still split ({plan:?})"
+            );
+            assert!(plan.len() <= 2 * max_shards + 1, "max={max_shards}");
+            assert_covers_domain(&plan, &format!("near-max max={max_shards}"));
+            let anchors: Vec<Value> = (0..64u64).map(Value).collect();
+            let split = plan_weighted_shards_split(&weights, max_shards, 1, 8, |_| anchors.clone());
+            assert!(split.len() >= 2, "max={max_shards}: split planner too");
+            assert!(split.len() <= 3 * max_shards + 1, "max={max_shards}");
+            assert_covers_domain(&split, &format!("near-max split max={max_shards}"));
+        }
+        // A single near-MAX candidate among unit weights is isolated, not
+        // wrapped into its neighbours.
+        let mut mixed: Vec<(Value, u64)> = (0..10u64).map(|i| (Value(i * 2), 1)).collect();
+        mixed[5].1 = u64::MAX;
+        let plan = plan_weighted_shards(&mixed, 4, 1);
+        let hot = plan
+            .iter()
+            .find(|s| s.contains(Value(10)))
+            .expect("some shard owns the near-MAX key");
+        let owned: Vec<Value> = mixed
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|&v| hot.contains(v))
+            .collect();
+        assert_eq!(owned, vec![Value(10)], "near-MAX key isolated: {plan:?}");
+    }
+
+    /// Serialises the tests that mutate or read `WCOJ_*` process env
+    /// vars: concurrent `setenv`/`getenv` is undefined behaviour at the
+    /// libc level, and an unsynchronised reader would also observe the
+    /// mutating test's temporary values.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn malformed_env_knobs_warn_and_fall_back() {
+        // A typo like WCOJ_HEAVY_SPLIT=eight must not silently revert to
+        // the defaults: the knob falls back AND the key is registered in
+        // the one-time warning list. Valid values still apply.
+        let _env = ENV_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let defaults = ExecConfig::default();
+        std::env::set_var("WCOJ_THREADS", "many");
+        std::env::set_var("WCOJ_SHARD_MIN_SIZE", "-3");
+        std::env::set_var("WCOJ_HEAVY_SPLIT", "eight");
+        std::env::set_var("WCOJ_SHARD_SPLIT", "fairly");
+        let cfg = ExecConfig::from_env();
+        let cfg_again = ExecConfig::from_env(); // second read: no new warnings
+        std::env::remove_var("WCOJ_THREADS");
+        std::env::remove_var("WCOJ_SHARD_MIN_SIZE");
+        std::env::remove_var("WCOJ_HEAVY_SPLIT");
+        std::env::remove_var("WCOJ_SHARD_SPLIT");
+        assert_eq!(cfg, defaults, "every malformed knob fell back");
+        assert_eq!(cfg_again, defaults);
+        let warned = malformed_env_warnings();
+        for key in [
+            "WCOJ_THREADS",
+            "WCOJ_SHARD_MIN_SIZE",
+            "WCOJ_HEAVY_SPLIT",
+            "WCOJ_SHARD_SPLIT",
+        ] {
+            assert_eq!(
+                warned.iter().filter(|k| k.as_str() == key).count(),
+                1,
+                "{key} warned exactly once (once per key per process): {warned:?}"
+            );
+        }
+        // and a well-formed override still applies
+        std::env::set_var("WCOJ_HEAVY_SPLIT", "5");
+        let cfg = ExecConfig::from_env();
+        std::env::remove_var("WCOJ_HEAVY_SPLIT");
+        assert_eq!(cfg.heavy_split_factor, 5);
+    }
+
+    #[test]
     fn install_enables_algorithm_variant() {
+        // The dispatch hook reads WCOJ_* env vars (ExecConfig::from_env):
+        // serialise against the env-mutating test above.
+        let _env = ENV_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         install();
         install(); // idempotent
         let rels = [

@@ -98,7 +98,14 @@ pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryT
     let full = if let Some(service) = catalog.service() {
         service
             .join(&reduced)
-            .map_err(|e| QueryTextError::Eval(e.to_string()))?
+            .map_err(|e| match e {
+                // Admission-control shed: surface the typed 429 so the
+                // front end can distinguish "retry later" from a real
+                // evaluation failure (applies to text queries and Datalog
+                // program rules alike — both route through here).
+                wcoj_core::QueryError::Overloaded => QueryTextError::Overloaded,
+                e => QueryTextError::Eval(e.to_string()),
+            })?
             .relation
     } else if let Some(cfg) = catalog.parallel() {
         wcoj_exec::par_join(&reduced, cfg)
@@ -288,6 +295,31 @@ mod tests {
         let pooled = execute(&q, &c).unwrap();
         assert_eq!(pooled.relation, seq.relation, "service route");
         assert_eq!(service.submitted(), 1);
+    }
+
+    #[test]
+    fn overloaded_service_surfaces_typed_rejection() {
+        // A catalog routed through a bounded 1-worker service whose two
+        // admission slots are pinned by long-running 5-cycle queries:
+        // executing a text query sheds with the typed Overloaded error
+        // (not a panic, not a stringly Eval), and succeeds again once the
+        // queue drains.
+        use std::sync::Arc;
+        let (service, blockers) = crate::test_support::overloaded_service(19);
+
+        let mut c = catalog_with_triangle();
+        c.set_service(Some(Arc::clone(&service)));
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        assert!(
+            matches!(execute(&q, &c), Err(QueryTextError::Overloaded)),
+            "full service queue → typed 429"
+        );
+        for b in blockers {
+            b.wait().unwrap();
+        }
+        // queue drained: the same query is admitted and evaluates
+        let out = execute(&q, &c).unwrap();
+        assert_eq!(out.relation.len(), 2);
     }
 
     #[test]

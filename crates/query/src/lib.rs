@@ -17,6 +17,42 @@ mod exec;
 mod parser;
 mod program;
 
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::Arc;
+    use wcoj_service::{QueryHandle, Service, ServiceConfig};
+
+    /// A 1-worker service with both of its two admission slots pinned by
+    /// long-running 5-cycle blockers. The blockers are submitted with a
+    /// *precomputed* cover, so submission costs microseconds while each
+    /// engine run takes tens of milliseconds — the service is reliably
+    /// still overloaded when the caller routes its next query. Wait the
+    /// returned handles to drain the queue again.
+    pub(crate) fn overloaded_service(seed: u64) -> (Arc<Service>, Vec<QueryHandle>) {
+        let service = Arc::new(Service::new(
+            ServiceConfig::with_workers(1).with_queue_depth(2),
+        ));
+        let rels = wcoj_datagen::cycle_instance(seed, 5, 200, 15);
+        let prepared = Arc::new(
+            wcoj_core::nprr::PreparedQuery::<wcoj_storage::TrieIndex>::new_indexed(&rels)
+                .expect("well-formed blocker"),
+        );
+        let (x, _) = prepared.resolve_cover(None).expect("cover");
+        let cfg = wcoj_exec::ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let blockers = (0..2)
+            .map(|_| {
+                service
+                    .submit_with_cover(&prepared, Some(&x), &cfg)
+                    .expect("within the bound")
+            })
+            .collect();
+        (service, blockers)
+    }
+}
+
 pub use catalog::Catalog;
 pub use csv::load_csv;
 pub use exec::{execute, QueryResult};
@@ -51,6 +87,10 @@ pub enum QueryTextError {
     },
     /// A head variable does not occur in the body.
     UnboundHeadVariable(String),
+    /// The catalog's shared query service shed the query under overload
+    /// (its admission queue was full) — the 429 of this front end. The
+    /// query was never evaluated; retrying later is safe.
+    Overloaded,
     /// Evaluation failure from the join engine.
     Eval(String),
 }
@@ -72,6 +112,12 @@ impl fmt::Display for QueryTextError {
             ),
             QueryTextError::UnboundHeadVariable(v) => {
                 write!(f, "head variable {v} does not occur in the body")
+            }
+            QueryTextError::Overloaded => {
+                write!(
+                    f,
+                    "service overloaded: query shed by admission control, retry later"
+                )
             }
             QueryTextError::Eval(m) => write!(f, "evaluation failed: {m}"),
         }

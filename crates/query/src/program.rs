@@ -214,6 +214,28 @@ mod tests {
     }
 
     #[test]
+    fn program_on_overloaded_service_surfaces_typed_rejection() {
+        // The Datalog routing path sheds the same way the text-query path
+        // does: a full admission queue aborts the program with the typed
+        // Overloaded error instead of panicking mid-rule.
+        use std::sync::Arc;
+        let (service, blockers) = crate::test_support::overloaded_service(29);
+
+        let p = parse_program("wedge(x, y, z) :- E(x, y), E(y, z).").unwrap();
+        let mut c = edge_catalog();
+        c.set_service(Some(Arc::clone(&service)));
+        assert!(matches!(
+            run_program(&p, &mut c),
+            Err(crate::QueryTextError::Overloaded)
+        ));
+        for b in blockers {
+            b.wait().unwrap();
+        }
+        let out = run_program(&p, &mut c).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
     fn recursion_rejected() {
         let p = parse_program("t(x, y) :- t(x, y), E(x, y).").unwrap();
         let mut c = edge_catalog();

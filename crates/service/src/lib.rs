@@ -18,26 +18,49 @@
 //!   span several work targets is further broken into *anchor
 //!   sub-shards* (`RootShard::anchor` ranges over the level-1 attribute,
 //!   [`ExecConfig::heavy_split_factor`]) so even a single hot key
-//!   spreads across the pool. Sub-shards are just more tasks on the
-//!   shared injector; submission pushes one task per (sub-)shard and
-//!   returns a [`QueryHandle`] immediately — it never blocks on other
-//!   queries.
-//! * Workers pull tasks FIFO off the injector, so shards of concurrent
-//!   queries interleave freely; each task runs the sequential engine
-//!   restricted to its root range — and, for a sub-shard, its anchor
-//!   range — ([`PreparedQuery::run_shard`]) against the query's shared,
-//!   immutable indexes.
+//!   spreads across the pool. Submission pushes the tasks as one
+//!   per-query **ring** and returns a [`QueryHandle`] immediately — it
+//!   never blocks on other queries.
+//! * **Admission control**: [`ServiceConfig::queue_depth`] bounds how
+//!   many queries may be admitted-but-unfinished at once (env
+//!   `WCOJ_QUEUE_DEPTH` via [`ServiceConfig::from_env`]; `0` =
+//!   unbounded). At the bound, [`Service::submit`] *sheds* — it returns
+//!   [`SubmitError::Overloaded`] without planning or scheduling anything,
+//!   the 429 of this scheduler — while [`Service::submit_blocking`] and
+//!   [`Service::try_submit_timeout`] wait on a condvar (optionally with a
+//!   deadline) for capacity instead. Either way the queue can no longer
+//!   grow without limit under a submission burst.
+//! * **Fair dispatch**: workers drain the per-query rings **round-robin,
+//!   one task at a time**, so shards of concurrent queries interleave by
+//!   construction — a 10k-sub-shard hot-key query no longer
+//!   head-of-line-blocks a 3-shard triangle query submitted just after
+//!   it. Each task runs the sequential engine restricted to its root
+//!   range — and, for a sub-shard, its anchor range —
+//!   ([`PreparedQuery::run_shard`]) against the query's shared, immutable
+//!   indexes.
 //! * [`QueryHandle::wait`] blocks until the query's last shard lands,
 //!   then reassembles per-shard row sets **in slot order** — root-value
 //!   order, then anchor order within a sub-split root value — and folds
 //!   per-shard [`JoinStats`] with [`JoinStats::absorb`] — the output
 //!   relation is bit-identical to the sequential
 //!   [`join_nprr`](wcoj_core::nprr::join_nprr), no matter how the pool
-//!   interleaved the shards.
+//!   interleaved the shards (dispatch order never reaches the output, so
+//!   fairness is free of correctness risk).
+//! * **Cancellation**: dropping a [`QueryHandle`] before waiting marks
+//!   the query cancelled; workers still pop its queued tasks but *skip*
+//!   the engine run, so an abandoned handle stops burning the pool
+//!   almost immediately (and its admission slot is released when the
+//!   ring drains).
+//! * **Observability**: [`Service::counters`] snapshots lifetime
+//!   `submitted` / `completed` / `shed` / `cancelled` / `skipped_tasks`
+//!   plus instantaneous `in_flight` and `queued_tasks`, for bench
+//!   harnesses and load shedding dashboards.
 //!
 //! Degenerate queries never touch the pool: an empty input relation or an
 //! empty root-candidate intersection (a *zero-shard plan*) resolves to a
-//! finished handle at submit time.
+//! finished handle at submit time (it still occupies — and immediately
+//! releases — an admission slot, so a burst of degenerate queries cannot
+//! starve real ones).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -55,10 +78,12 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use wcoj_core::nprr::{PreparedQuery, RootShard};
 use wcoj_core::{JoinOutput, JoinStats, QueryError};
@@ -81,6 +106,16 @@ pub struct ServiceConfig {
     /// size is a service-level decision; `shard_min_size` and `split`
     /// steer the per-query [`ShardPlan`].
     pub exec: ExecConfig,
+    /// Admission bound: the maximum number of queries that may be
+    /// admitted-but-unfinished (queued or running) at once. `0` (the
+    /// default) means unbounded — the pre-admission-control behaviour.
+    /// At the bound, [`Service::submit`] sheds with
+    /// [`SubmitError::Overloaded`]; [`Service::submit_blocking`] /
+    /// [`Service::try_submit_timeout`] wait for capacity instead.
+    /// Degenerate submissions (resolved at submit time) acquire and
+    /// immediately release a slot, so they are also shed under overload
+    /// — admission stays a pure front-door check that costs no planning.
+    pub queue_depth: usize,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +123,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             exec: ExecConfig::default(),
+            queue_depth: 0,
         }
     }
 }
@@ -101,46 +137,219 @@ impl ServiceConfig {
             ..ServiceConfig::default()
         }
     }
+
+    /// Returns `self` with the admission bound set (see
+    /// [`ServiceConfig::queue_depth`]; `0` = unbounded).
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> ServiceConfig {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Default config with the admission bound overridden by the
+    /// `WCOJ_QUEUE_DEPTH` environment variable when set (malformed values
+    /// warn once and fall back, like every numeric `WCOJ_*` knob — see
+    /// [`wcoj_exec::read_env_usize`]).
+    #[must_use]
+    pub fn from_env() -> ServiceConfig {
+        let mut cfg = ServiceConfig::default();
+        if let Some(d) = wcoj_exec::read_env_usize("WCOJ_QUEUE_DEPTH") {
+            cfg.queue_depth = d;
+        }
+        cfg
+    }
+}
+
+/// Why [`Service::submit`] (or a sibling) refused a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// Admission control shed the submission: the service already had
+    /// [`queue_depth`](ServiceConfig::queue_depth) queries in flight (for
+    /// the deadline variant: still had, when the deadline expired). The
+    /// query was never planned or scheduled; retrying later is safe.
+    Overloaded {
+        /// Queries in flight when the submission was refused.
+        in_flight: usize,
+        /// The configured admission bound.
+        queue_depth: usize,
+    },
+    /// Planning/validation failed before any task was scheduled (bad
+    /// cover, LP failure, …).
+    Query(QueryError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded {
+                in_flight,
+                queue_depth,
+            } => write!(
+                f,
+                "service overloaded: {in_flight} queries in flight at queue depth \
+                 {queue_depth}; submission shed"
+            ),
+            SubmitError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<QueryError> for SubmitError {
+    fn from(e: QueryError) -> Self {
+        SubmitError::Query(e)
+    }
+}
+
+impl From<SubmitError> for QueryError {
+    /// Collapses an overload shed into [`QueryError::Overloaded`] so
+    /// callers speaking only `QueryError` (the [`Service::join`] /
+    /// catalog-routing path) surface a typed 429 instead of a panic or a
+    /// stringly error.
+    fn from(e: SubmitError) -> Self {
+        match e {
+            SubmitError::Overloaded { .. } => QueryError::Overloaded,
+            SubmitError::Query(e) => e,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's scheduling counters
+/// ([`Service::counters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceCounters {
+    /// Accepted submissions over the service's lifetime: every submit
+    /// call that returned a [`QueryHandle`], *including* degenerate
+    /// queries resolved at submit time. Shed submissions and
+    /// planning-error submissions are **not** counted.
+    pub submitted: u64,
+    /// Accepted queries whose work has finished — their last task drained
+    /// (run or skipped), or they resolved at submit time. Eventually
+    /// `completed == submitted` once the service idles.
+    pub completed: u64,
+    /// Submissions shed by admission control ([`SubmitError::Overloaded`],
+    /// including deadline expiries of [`Service::try_submit_timeout`]).
+    pub shed: u64,
+    /// Queries whose [`QueryHandle`] was dropped before the query
+    /// finished (best-effort: a drop racing the final task may count
+    /// even though nothing was left to skip).
+    pub cancelled: u64,
+    /// Tasks workers popped but skipped because their query was cancelled
+    /// — pool time the cancellation saved.
+    pub skipped_tasks: u64,
+    /// Queries currently admitted and unfinished (what
+    /// [`ServiceConfig::queue_depth`] bounds).
+    pub in_flight: usize,
+    /// Shard tasks currently waiting on the injector (excludes tasks
+    /// being run right now).
+    pub queued_tasks: usize,
 }
 
 /// A schedulable unit: one shard of one query.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// State shared between the submitting thread and the pool workers.
+/// The queued tasks of one admitted query. Rings are drained round-robin,
+/// one task per turn, so concurrent queries share the pool fairly instead
+/// of queueing behind whoever submitted first.
+struct QueryRing {
+    tasks: VecDeque<Task>,
+}
+
+/// Everything guarded by the injector mutex: the rings plus the admission
+/// accounting the condvars signal on.
+struct QueueState {
+    /// Per-query task rings, in round-robin rotation order. Invariant:
+    /// every ring holds ≥ 1 task (empty rings are removed on pop).
+    rings: VecDeque<QueryRing>,
+    /// Tasks across all rings (denormalised for O(1) counters).
+    queued_tasks: usize,
+    /// Admitted-but-unfinished queries (the quantity `queue_depth`
+    /// bounds).
+    in_flight: usize,
+}
+
+/// State shared between the submitting threads and the pool workers.
 struct Injector {
-    queue: Mutex<VecDeque<Task>>,
+    queue: Mutex<QueueState>,
+    /// Signalled when tasks are pushed (workers wait here).
     task_ready: Condvar,
+    /// Signalled when a query finishes, freeing an admission slot
+    /// (blocking submitters wait here).
+    space_ready: Condvar,
     shutdown: AtomicBool,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    skipped_tasks: AtomicU64,
 }
 
 impl Injector {
-    fn push(&self, task: Task) {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
         self.queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push_back(task);
-        self.task_ready.notify_one();
     }
 
-    /// Worker side: next task, or `None` once shut down *and* drained
-    /// (pending queries always finish, so handles never dangle).
+    /// Enqueues one admitted query's tasks as a fresh ring at the back of
+    /// the rotation.
+    fn push_ring(&self, tasks: VecDeque<Task>) {
+        debug_assert!(!tasks.is_empty(), "rings hold at least one task");
+        let n = tasks.len();
+        {
+            let mut q = self.lock();
+            q.queued_tasks += n;
+            q.rings.push_back(QueryRing { tasks });
+        }
+        if n == 1 {
+            self.task_ready.notify_one();
+        } else {
+            self.task_ready.notify_all();
+        }
+    }
+
+    /// Worker side: next task — **round-robin across query rings**, one
+    /// task per turn — or `None` once shut down *and* drained (pending
+    /// queries always finish, so handles never dangle).
     fn pop(&self) -> Option<Task> {
-        let mut queue = self
-            .queue
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut q = self.lock();
         loop {
-            if let Some(task) = queue.pop_front() {
+            if let Some(ring) = q.rings.front_mut() {
+                let task = ring.tasks.pop_front().expect("rings hold ≥ 1 task");
+                q.queued_tasks -= 1;
+                let ring = q.rings.pop_front().expect("front ring exists");
+                if !ring.tasks.is_empty() {
+                    // Rotate: this query goes to the back so its
+                    // neighbours get the next turns.
+                    q.rings.push_back(ring);
+                }
                 return Some(task);
             }
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            queue = self
+            q = self
                 .task_ready
-                .wait(queue)
+                .wait(q)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+    }
+
+    /// Releases one admission slot (a query finished, errored at planning
+    /// time, or resolved degenerately) and wakes blocked submitters.
+    fn release_slot(&self) {
+        {
+            let mut q = self.lock();
+            debug_assert!(q.in_flight > 0, "release without admission");
+            q.in_flight -= 1;
+        }
+        self.space_ready.notify_one();
+    }
+
+    /// A query's last task drained: release its slot and count it done.
+    fn finish_query(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.release_slot();
     }
 }
 
@@ -156,6 +365,9 @@ struct JobState {
     remaining: AtomicUsize,
     /// A worker panicked while running one of this query's shards.
     poisoned: AtomicBool,
+    /// The handle was dropped before waiting: workers skip the engine run
+    /// for this query's remaining tasks.
+    cancelled: AtomicBool,
     done: Mutex<bool>,
     done_ready: Condvar,
 }
@@ -166,12 +378,18 @@ impl JobState {
             slots: Mutex::new(vec![None; shards]),
             remaining: AtomicUsize::new(shards),
             poisoned: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
             done: Mutex::new(false),
             done_ready: Condvar::new(),
         }
     }
 
-    fn complete(&self, index: usize, result: Option<ShardResult>) {
+    /// Records one shard's result; returns `true` iff it was the query's
+    /// last outstanding shard. The caller then settles the query with the
+    /// service **before** calling [`JobState::notify_done`], so by the
+    /// time `wait()` returns, the admission slot is released and the
+    /// counters have settled.
+    fn complete(&self, index: usize, result: Option<ShardResult>) -> bool {
         if let Some(result) = result {
             self.slots
                 .lock()
@@ -179,14 +397,17 @@ impl JobState {
         } else {
             self.poisoned.store(true, Ordering::Release);
         }
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut done = self
-                .done
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            *done = true;
-            self.done_ready.notify_all();
-        }
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Wakes waiters; call only after the last [`JobState::complete`].
+    fn notify_done(&self) {
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *done = true;
+        self.done_ready.notify_all();
     }
 
     fn wait(&self) {
@@ -205,23 +426,29 @@ impl JobState {
 
 /// The future of a submitted query. [`wait`](QueryHandle::wait) blocks
 /// until every shard has run on the pool and returns the reassembled
-/// output; dropping the handle abandons the result (the shards still
-/// run, but their rows are discarded).
+/// output. **Dropping** the handle without waiting *cancels* the query:
+/// workers skip the engine run for its remaining tasks, so an abandoned
+/// handle stops burning the shared pool (and frees its admission slot
+/// as its ring drains).
 pub struct QueryHandle {
-    inner: HandleInner,
+    inner: Option<HandleInner>,
 }
 
 enum HandleInner {
     /// Resolved at submit time (empty input, zero-shard plan).
     Ready(Result<JoinOutput, QueryError>),
     /// Waits on the pool, then assembles.
-    Pending(Box<dyn FnOnce() -> Result<JoinOutput, QueryError> + Send>),
+    Pending {
+        state: Arc<JobState>,
+        injector: Arc<Injector>,
+        assemble: Box<dyn FnOnce() -> Result<JoinOutput, QueryError> + Send>,
+    },
 }
 
 impl QueryHandle {
     fn ready(result: Result<JoinOutput, QueryError>) -> QueryHandle {
         QueryHandle {
-            inner: HandleInner::Ready(result),
+            inner: Some(HandleInner::Ready(result)),
         }
     }
 
@@ -233,16 +460,71 @@ impl QueryHandle {
     /// # Panics
     /// If a pool worker panicked while running one of this query's shards
     /// (the panic is re-raised here instead of deadlocking the caller).
-    pub fn wait(self) -> Result<JoinOutput, QueryError> {
-        match self.inner {
+    pub fn wait(mut self) -> Result<JoinOutput, QueryError> {
+        match self.inner.take().expect("handle consumed exactly once") {
             HandleInner::Ready(result) => result,
-            HandleInner::Pending(wait_fn) => wait_fn(),
+            HandleInner::Pending { assemble, .. } => assemble(),
+        }
+    }
+
+    /// `true` iff every shard of the query has already drained — `wait`
+    /// would return without blocking. Degenerate submit-time resolutions
+    /// are always finished.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            Some(HandleInner::Ready(_)) | None => true,
+            Some(HandleInner::Pending { state, .. }) => {
+                state.remaining.load(Ordering::Acquire) == 0
+            }
         }
     }
 }
 
+impl fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(HandleInner::Ready(_)) => f.write_str("QueryHandle(ready)"),
+            Some(HandleInner::Pending { state, .. }) => write!(
+                f,
+                "QueryHandle(pending, {} shards outstanding)",
+                state.remaining.load(Ordering::Relaxed)
+            ),
+            None => f.write_str("QueryHandle(consumed)"),
+        }
+    }
+}
+
+impl Drop for QueryHandle {
+    /// Abandoning a pending handle cancels its query: remaining tasks are
+    /// skipped by the workers instead of burning the pool for a result
+    /// nobody can read any more.
+    fn drop(&mut self) {
+        if let Some(HandleInner::Pending {
+            state, injector, ..
+        }) = &self.inner
+        {
+            state.cancelled.store(true, Ordering::Release);
+            if state.remaining.load(Ordering::Acquire) > 0 {
+                injector.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// How a submission behaves when the service is at its admission bound.
+enum Admission {
+    /// Fail fast with [`SubmitError::Overloaded`].
+    Shed,
+    /// Wait (on the space condvar) until a slot frees up.
+    Block,
+    /// Wait until the deadline, then shed.
+    Deadline(Instant),
+}
+
 /// A long-lived executor owning one global worker pool; queries from any
-/// thread share it. See the crate docs for the scheduling model.
+/// thread share it. See the crate docs for the scheduling model
+/// (round-robin fair dispatch, bounded admission, cancellation).
 pub struct Service {
     injector: Arc<Injector>,
     workers: Vec<JoinHandle<()>>,
@@ -259,9 +541,18 @@ impl Service {
             ..cfg
         };
         let injector = Arc::new(Injector {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(QueueState {
+                rings: VecDeque::new(),
+                queued_tasks: 0,
+                in_flight: 0,
+            }),
             task_ready: Condvar::new(),
+            space_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            skipped_tasks: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -294,10 +585,32 @@ impl Service {
         self.workers.len()
     }
 
-    /// Queries submitted over the service's lifetime.
+    /// Accepted submissions over the service's lifetime: every submit
+    /// call that returned a [`QueryHandle`], **including** degenerate
+    /// queries resolved at submit time; shed submissions and
+    /// planning-error (e.g. bad cover / LP failure) submissions are not
+    /// counted.
     #[must_use]
     pub fn submitted(&self) -> u64 {
         self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot of the scheduling counters.
+    #[must_use]
+    pub fn counters(&self) -> ServiceCounters {
+        let (in_flight, queued_tasks) = {
+            let q = self.injector.lock();
+            (q.in_flight, q.queued_tasks)
+        };
+        ServiceCounters {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.injector.completed.load(Ordering::Relaxed),
+            shed: self.injector.shed.load(Ordering::Relaxed),
+            cancelled: self.injector.cancelled.load(Ordering::Relaxed),
+            skipped_tasks: self.injector.skipped_tasks.load(Ordering::Relaxed),
+            in_flight,
+            queued_tasks,
+        }
     }
 
     /// The service's default per-query planning config (its `threads`
@@ -305,6 +618,12 @@ impl Service {
     #[must_use]
     pub fn exec_config(&self) -> ExecConfig {
         self.cfg.exec.clone()
+    }
+
+    /// The configured admission bound (`0` = unbounded).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.cfg.queue_depth
     }
 
     /// The shard layout [`submit`](Service::submit) would schedule for
@@ -326,38 +645,156 @@ impl Service {
         }
     }
 
+    /// Acquires an admission slot according to `how`.
+    fn admit(&self, how: &Admission) -> Result<(), SubmitError> {
+        let depth = self.cfg.queue_depth;
+        let mut q = self.injector.lock();
+        loop {
+            if depth == 0 || q.in_flight < depth {
+                q.in_flight += 1;
+                return Ok(());
+            }
+            let overloaded = SubmitError::Overloaded {
+                in_flight: q.in_flight,
+                queue_depth: depth,
+            };
+            match how {
+                Admission::Shed => {
+                    drop(q);
+                    self.injector.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(overloaded);
+                }
+                Admission::Block => {
+                    q = self
+                        .injector
+                        .space_ready
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                Admission::Deadline(deadline) => {
+                    let now = Instant::now();
+                    if now >= *deadline {
+                        drop(q);
+                        self.injector.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(overloaded);
+                    }
+                    q = self
+                        .injector
+                        .space_ready
+                        .wait_timeout(q, *deadline - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+    }
+
     /// Submits a prepared query with the LP-optimal fractional cover.
-    /// Returns immediately; the shards run on the shared pool.
+    /// Returns immediately; the shards run on the shared pool. Under
+    /// overload ([`ServiceConfig::queue_depth`] queries already in
+    /// flight) the submission is **shed**, not queued.
     ///
     /// # Errors
-    /// LP errors from solving for the optimal cover.
+    /// [`SubmitError::Overloaded`] when admission control sheds the
+    /// query; [`SubmitError::Query`] for LP errors from solving for the
+    /// optimal cover.
     pub fn submit<S>(
         &self,
         prepared: &Arc<PreparedQuery<S>>,
         cfg: &ExecConfig,
-    ) -> Result<QueryHandle, QueryError>
+    ) -> Result<QueryHandle, SubmitError>
     where
         S: SearchTree + Send + Sync + 'static,
     {
-        self.submit_with_cover(prepared, None, cfg)
+        self.submit_inner(prepared, None, cfg, &Admission::Shed)
+    }
+
+    /// Like [`submit`](Service::submit), but **waits** for an admission
+    /// slot instead of shedding when the service is at its bound — for
+    /// callers that prefer delay over a 429.
+    ///
+    /// # Errors
+    /// [`SubmitError::Query`] for LP errors (never
+    /// [`SubmitError::Overloaded`]).
+    pub fn submit_blocking<S>(
+        &self,
+        prepared: &Arc<PreparedQuery<S>>,
+        cfg: &ExecConfig,
+    ) -> Result<QueryHandle, SubmitError>
+    where
+        S: SearchTree + Send + Sync + 'static,
+    {
+        self.submit_inner(prepared, None, cfg, &Admission::Block)
+    }
+
+    /// Like [`submit_blocking`](Service::submit_blocking) with a
+    /// deadline: waits up to `timeout` for an admission slot, then sheds.
+    ///
+    /// # Errors
+    /// [`SubmitError::Overloaded`] when no slot freed up within
+    /// `timeout`; [`SubmitError::Query`] for LP errors.
+    pub fn try_submit_timeout<S>(
+        &self,
+        prepared: &Arc<PreparedQuery<S>>,
+        cfg: &ExecConfig,
+        timeout: Duration,
+    ) -> Result<QueryHandle, SubmitError>
+    where
+        S: SearchTree + Send + Sync + 'static,
+    {
+        let deadline = Instant::now()
+            .checked_add(timeout)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400));
+        self.submit_inner(prepared, None, cfg, &Admission::Deadline(deadline))
     }
 
     /// Like [`submit`](Service::submit) with an explicit fractional cover
     /// (validated; one weight per relation in input order).
     ///
     /// # Errors
-    /// [`QueryError::BadCover`] for invalid covers; LP errors when
-    /// solving for the optimum.
+    /// [`SubmitError::Overloaded`] under overload;
+    /// [`SubmitError::Query`] wrapping [`QueryError::BadCover`] for
+    /// invalid covers or LP errors when solving for the optimum.
     pub fn submit_with_cover<S>(
         &self,
         prepared: &Arc<PreparedQuery<S>>,
         cover: Option<&[f64]>,
         cfg: &ExecConfig,
-    ) -> Result<QueryHandle, QueryError>
+    ) -> Result<QueryHandle, SubmitError>
     where
         S: SearchTree + Send + Sync + 'static,
     {
+        self.submit_inner(prepared, cover, cfg, &Admission::Shed)
+    }
+
+    /// An accepted submission that resolved at submit time: it holds an
+    /// admission slot (acquired in `admit`) that must be released, and it
+    /// counts as completed immediately. `submitted` is bumped **before**
+    /// `completed`, so a concurrent [`Service::counters`] snapshot never
+    /// observes `completed > submitted`.
+    fn accept_ready(
+        &self,
+        result: Result<JoinOutput, QueryError>,
+    ) -> Result<QueryHandle, SubmitError> {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.injector.finish_query();
+        Ok(QueryHandle::ready(result))
+    }
+
+    fn submit_inner<S>(
+        &self,
+        prepared: &Arc<PreparedQuery<S>>,
+        cover: Option<&[f64]>,
+        cfg: &ExecConfig,
+        how: &Admission,
+    ) -> Result<QueryHandle, SubmitError>
+    where
+        S: SearchTree + Send + Sync + 'static,
+    {
+        // Admission first: under overload the submission is refused
+        // *before* any planning work (shedding is supposed to be cheap).
+        self.admit(how)?;
+
         let base_stats = |log2_bound: f64, x: &[f64]| JoinStats {
             algorithm_used: ALGORITHM,
             log2_agm_bound: log2_bound,
@@ -367,86 +804,127 @@ impl Service {
 
         // Degenerate inputs resolve immediately — no tasks, no workers.
         if prepared.query().relations().iter().any(Relation::is_empty) {
-            return Ok(QueryHandle::ready(Ok(JoinOutput {
+            return self.accept_ready(Ok(JoinOutput {
                 relation: Relation::empty(prepared.query().output_schema()),
                 stats: base_stats(0.0, &[]),
-            })));
+            }));
         }
-        let (x, log2_bound) = prepared.resolve_cover(cover)?;
+        let (x, log2_bound) = match prepared.resolve_cover(cover) {
+            Ok(resolved) => resolved,
+            Err(e) => {
+                // Rejected before scheduling: give the slot back and do
+                // NOT count the submission as accepted.
+                self.injector.release_slot();
+                return Err(SubmitError::Query(e));
+            }
+        };
 
         let tasks = self.shard_layout(&**prepared, cfg);
         if tasks.is_empty() {
             // Zero-shard plan: no root value survives the level-0
             // intersection, the output is empty.
-            return Ok(QueryHandle::ready(
-                prepared.assemble(Vec::new(), base_stats(log2_bound, &x)),
-            ));
+            return self.accept_ready(prepared.assemble(Vec::new(), base_stats(log2_bound, &x)));
         }
 
         let state = Arc::new(JobState::new(tasks.len()));
+        let mut ring: VecDeque<Task> = VecDeque::with_capacity(tasks.len());
         for (i, shard) in tasks.into_iter().enumerate() {
             let prepared = Arc::clone(prepared);
             let state = Arc::clone(&state);
+            let injector = Arc::clone(&self.injector);
             let x = x.clone();
-            self.injector.push(Box::new(move || {
-                // Report a panic to the job before re-raising, so wait()
-                // fails loudly instead of blocking forever.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    prepared.run_shard(&x, log2_bound, shard)
-                }));
-                match result {
-                    Ok(rows_stats) => state.complete(i, Some(rows_stats)),
-                    Err(payload) => {
-                        state.complete(i, None);
-                        std::panic::resume_unwind(payload);
+            ring.push_back(Box::new(move || {
+                let mut payload = None;
+                let result = if state.cancelled.load(Ordering::Acquire) {
+                    // The handle is gone: nobody can read the rows, skip
+                    // the engine run and just drain the accounting.
+                    injector.skipped_tasks.fetch_add(1, Ordering::Relaxed);
+                    Some((Vec::new(), JoinStats::default()))
+                } else {
+                    // Report a panic to the job before re-raising, so
+                    // wait() fails loudly instead of blocking forever.
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        prepared.run_shard(&x, log2_bound, shard)
+                    })) {
+                        Ok(rows_stats) => Some(rows_stats),
+                        Err(p) => {
+                            payload = Some(p);
+                            None
+                        }
                     }
+                };
+                if state.complete(i, result) {
+                    // Settle with the service first: once wait() returns,
+                    // the admission slot is free and the counters agree.
+                    injector.finish_query();
+                    state.notify_done();
+                }
+                if let Some(p) = payload {
+                    std::panic::resume_unwind(p);
                 }
             }));
         }
+        // Count the acceptance before the ring is visible to workers: a
+        // fast pool could otherwise finish every shard (bumping
+        // `completed`) while `submitted` still reads one short.
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.injector.push_ring(ring);
 
         let prepared = Arc::clone(prepared);
         let stats = base_stats(log2_bound, &x);
+        let assemble_state = Arc::clone(&state);
         Ok(QueryHandle {
-            inner: HandleInner::Pending(Box::new(move || {
-                state.wait();
-                assert!(
-                    !state.poisoned.load(Ordering::Acquire),
-                    "a service worker panicked while running a shard of this query"
-                );
-                let mut slots = state
-                    .slots
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                let mut stats = stats;
-                let mut rows = Vec::with_capacity(
-                    slots
-                        .iter()
-                        .map(|s| s.as_ref().map_or(0, |(r, _)| r.len()))
-                        .sum(),
-                );
-                // Deterministic merge: slot (= shard = root-value) order,
-                // regardless of the order the pool finished them in.
-                for slot in slots.iter_mut() {
-                    let (shard_rows, shard_stats) = slot.take().expect("every shard completed");
-                    rows.extend(shard_rows);
-                    stats.absorb(&shard_stats);
-                }
-                drop(slots);
-                prepared.assemble(rows, stats)
-            })),
+            inner: Some(HandleInner::Pending {
+                state: Arc::clone(&state),
+                injector: Arc::clone(&self.injector),
+                assemble: Box::new(move || {
+                    let state = assemble_state;
+                    state.wait();
+                    assert!(
+                        !state.poisoned.load(Ordering::Acquire),
+                        "a service worker panicked while running a shard of this query"
+                    );
+                    let mut slots = state
+                        .slots
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let mut stats = stats;
+                    let mut rows = Vec::with_capacity(
+                        slots
+                            .iter()
+                            .map(|s| s.as_ref().map_or(0, |(r, _)| r.len()))
+                            .sum(),
+                    );
+                    // Deterministic merge: slot (= shard = root-value)
+                    // order, regardless of the order the pool finished
+                    // them in.
+                    for slot in slots.iter_mut() {
+                        let (shard_rows, shard_stats) = slot.take().expect("every shard completed");
+                        rows.extend(shard_rows);
+                        stats.absorb(&shard_stats);
+                    }
+                    drop(slots);
+                    prepared.assemble(rows, stats)
+                }),
+            }),
         })
     }
 
     /// One-shot convenience: prepare `relations` with the default sorted
     /// trie backend, submit with the service's default planning config,
     /// and wait. This is the entry point `wcoj-query` routes catalog
-    /// queries through.
+    /// queries through; under overload it surfaces
+    /// [`QueryError::Overloaded`] (the shed, not the blocking, policy —
+    /// a front end should answer 429 rather than stall its caller).
     ///
     /// # Errors
-    /// Same as [`PreparedQuery::new_indexed`] plus evaluation errors.
+    /// Same as [`PreparedQuery::new_indexed`] plus evaluation errors and
+    /// [`QueryError::Overloaded`].
     pub fn join(&self, relations: &[Relation]) -> Result<JoinOutput, QueryError> {
         let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(relations)?);
-        self.submit(&prepared, &self.cfg.exec)?.wait()
+        self.submit(&prepared, &self.cfg.exec)
+            .map_err(QueryError::from)?
+            .wait()
     }
 }
 
@@ -460,11 +938,7 @@ impl Drop for Service {
             // flag) or already parked in wait() (and will get the
             // notification) — never in between, which would lose the
             // wakeup and deadlock the join below.
-            let _queue = self
-                .injector
-                .queue
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _queue = self.injector.lock();
             self.injector.shutdown.store(true, Ordering::Release);
         }
         self.injector.task_ready.notify_all();
@@ -490,6 +964,18 @@ mod tests {
             rel(&[1, 2], &[&[2, 4], &[3, 4]]),
             rel(&[0, 2], &[&[1, 4]]),
         ]
+    }
+
+    /// A blocker query for the admission tests: a 5-cycle whose *engine*
+    /// run takes tens of milliseconds (even in release mode) while
+    /// submitting it with the returned precomputed cover costs
+    /// microseconds — so a blocker is reliably still in flight when the
+    /// next submission's admission check runs.
+    fn heavy_blocker(seed: u64) -> (Vec<Relation>, Arc<PreparedQuery<TrieIndex>>, Vec<f64>) {
+        let rels = wcoj_datagen::cycle_instance(seed, 5, 200, 15);
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let (x, _) = prepared.resolve_cover(None).unwrap();
+        (rels, prepared, x)
     }
 
     #[test]
@@ -530,6 +1016,12 @@ mod tests {
             assert_eq!(handle.wait().unwrap().relation, seq.relation);
         }
         assert_eq!(service.submitted(), 16);
+        let counters = service.counters();
+        assert_eq!(counters.completed, 16);
+        assert_eq!(counters.in_flight, 0);
+        assert_eq!(counters.queued_tasks, 0);
+        assert_eq!(counters.shed, 0);
+        assert_eq!(counters.cancelled, 0);
     }
 
     #[test]
@@ -594,6 +1086,190 @@ mod tests {
         assert_eq!(out.relation.arity(), 0);
     }
 
+    /// Satellite pin-down: `submitted` counts every *accepted* submit —
+    /// including degenerate queries resolved at submit time — and never
+    /// counts planning-error or shed submissions. Accepted queries all
+    /// eventually count as `completed`, and admission slots drain back to
+    /// zero.
+    #[test]
+    fn submitted_counter_semantics() {
+        let service = Service::new(ServiceConfig::with_workers(2));
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+
+        // 1. a normal multi-shard query: counted
+        let populated = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&triangle()).unwrap());
+        service.submit(&populated, &cfg).unwrap().wait().unwrap();
+        assert_eq!(service.submitted(), 1);
+
+        // 2. empty-input degenerate: counted (accepted, resolved at
+        //    submit)
+        let empty_input = Arc::new(
+            PreparedQuery::<TrieIndex>::new_indexed(&[
+                rel(&[0, 1], &[&[1, 2]]),
+                Relation::empty(Schema::of(&[1, 2])),
+            ])
+            .unwrap(),
+        );
+        service.submit(&empty_input, &cfg).unwrap().wait().unwrap();
+        assert_eq!(service.submitted(), 2);
+
+        // 3. zero-shard plan (empty root-candidate intersection): counted
+        let zero_shard = Arc::new(
+            PreparedQuery::<TrieIndex>::new_indexed(&[
+                rel(&[0, 1], &[&[10, 1], &[10, 2]]),
+                rel(&[1, 2], &[&[7, 20], &[8, 20]]),
+                rel(&[0, 2], &[&[10, 20]]),
+            ])
+            .unwrap(),
+        );
+        service.submit(&zero_shard, &cfg).unwrap().wait().unwrap();
+        assert_eq!(service.submitted(), 3);
+
+        // 4. a bad cover (planning error): NOT counted
+        let err = service.submit_with_cover(&populated, Some(&[0.1, 0.1, 0.1]), &cfg);
+        assert!(matches!(err, Err(SubmitError::Query(_))));
+        assert_eq!(service.submitted(), 3, "LP-error submissions don't count");
+
+        let counters = service.counters();
+        assert_eq!(counters.submitted, 3);
+        assert_eq!(counters.completed, 3, "degenerate resolutions complete");
+        assert_eq!(counters.shed, 0);
+        assert_eq!(counters.in_flight, 0, "every slot released");
+    }
+
+    /// The acceptance-criterion shape: with queue bound Q on a 2-worker
+    /// pool, a burst sheds the (Q+1)-th submission with
+    /// `SubmitError::Overloaded`, sheds are counted (not silently
+    /// dropped), and every accepted handle still resolves bit-identically.
+    #[test]
+    fn burst_past_queue_depth_sheds_deterministically() {
+        const Q: usize = 3;
+        let service = Service::new(ServiceConfig::with_workers(2).with_queue_depth(Q));
+        assert_eq!(service.queue_depth(), Q);
+        // The blocker's engine run takes tens of milliseconds while each
+        // burst submission below costs microseconds (precomputed cover,
+        // and the admission check precedes all planning), so none of the
+        // admitted queries can finish before the burst loop ends.
+        let (heavy_rels, heavy, x) = heavy_blocker(11);
+        let seq = join_with(&heavy_rels, Algorithm::Nprr, None).unwrap();
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+
+        let accepted: Vec<QueryHandle> = (0..Q)
+            .map(|i| {
+                service
+                    .submit_with_cover(&heavy, Some(&x), &cfg)
+                    .unwrap_or_else(|e| panic!("submission {i} within the bound accepted: {e}"))
+            })
+            .collect();
+        // The (Q+1)-th burst submission is shed.
+        match service.submit_with_cover(&heavy, Some(&x), &cfg) {
+            Err(SubmitError::Overloaded {
+                in_flight,
+                queue_depth,
+            }) => {
+                assert_eq!(in_flight, Q);
+                assert_eq!(queue_depth, Q);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(service.counters().shed, 1, "the shed is reported");
+        assert_eq!(
+            service.submitted(),
+            Q as u64,
+            "shed submissions don't count"
+        );
+
+        // Every accepted handle resolves bit-identically to join_nprr.
+        for handle in accepted {
+            let out = handle.wait().unwrap();
+            assert_eq!(out.relation, seq.relation);
+        }
+        // With the queue drained, submissions are admitted again.
+        let out = service.submit(&heavy, &cfg).unwrap().wait().unwrap();
+        assert_eq!(out.relation, seq.relation);
+        assert_eq!(service.counters().in_flight, 0);
+    }
+
+    #[test]
+    fn blocking_and_deadline_submission_under_overload() {
+        let service = Service::new(ServiceConfig::with_workers(1).with_queue_depth(1));
+        let (heavy_rels, heavy, x) = heavy_blocker(13);
+        let seq = join_with(&heavy_rels, Algorithm::Nprr, None).unwrap();
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+
+        let first = service.submit_with_cover(&heavy, Some(&x), &cfg).unwrap();
+        // Full: a zero-deadline submission sheds…
+        match service.try_submit_timeout(&heavy, &cfg, Duration::ZERO) {
+            Err(SubmitError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // …while a blocking submission waits for the slot and succeeds.
+        let blocked = service.submit_blocking(&heavy, &cfg).unwrap();
+        assert_eq!(first.wait().unwrap().relation, seq.relation);
+        assert_eq!(blocked.wait().unwrap().relation, seq.relation);
+        // A generous deadline also gets through once the queue is idle.
+        let timed = service
+            .try_submit_timeout(&heavy, &cfg, Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(timed.wait().unwrap().relation, seq.relation);
+        let counters = service.counters();
+        assert_eq!(counters.submitted, 3);
+        assert_eq!(counters.shed, 1);
+        assert_eq!(counters.in_flight, 0);
+    }
+
+    #[test]
+    fn dropped_handle_cancels_remaining_tasks() {
+        // One worker: after the handle is dropped mid-run, the remaining
+        // ring entries are popped but skipped instead of burning the pool.
+        let service = Service::new(ServiceConfig::with_workers(1));
+        let (_, heavy, x) = heavy_blocker(17);
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let layout = service.shard_layout(&*heavy, &cfg);
+        assert!(layout.len() >= 3, "the plan is multi-task: {layout:?}");
+
+        let handle = service.submit_with_cover(&heavy, Some(&x), &cfg).unwrap();
+        drop(handle); // cancel
+        assert_eq!(service.counters().cancelled, 1);
+
+        // The pool still serves other queries correctly afterwards…
+        let rels = triangle();
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let small = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let out = service.submit(&small, &cfg).unwrap().wait().unwrap();
+        assert_eq!(out.relation, seq.relation);
+
+        // …and once the cancelled ring drains, its skipped tasks show up
+        // in the counters and its admission slot is released.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let c = service.counters();
+            if c.in_flight == 0 && c.queued_tasks == 0 {
+                assert!(
+                    c.skipped_tasks >= 1,
+                    "cancellation skipped work: {c:?} (layout {})",
+                    layout.len()
+                );
+                assert_eq!(c.completed, 2, "cancelled query still drains");
+                break;
+            }
+            assert!(Instant::now() < deadline, "cancelled query never drained");
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn bad_cover_rejected_at_submit() {
         let service = Service::new(ServiceConfig::with_workers(2));
@@ -608,6 +1284,51 @@ mod tests {
             .wait()
             .unwrap();
         assert_eq!(out.relation.len(), 2);
+    }
+
+    #[test]
+    fn submit_error_conversions_and_display() {
+        let overload = SubmitError::Overloaded {
+            in_flight: 4,
+            queue_depth: 4,
+        };
+        assert_eq!(QueryError::from(overload.clone()), QueryError::Overloaded);
+        assert!(overload.to_string().contains("overloaded"));
+        let bad = SubmitError::Query(QueryError::BadCover("nope".into()));
+        assert_eq!(
+            QueryError::from(bad),
+            QueryError::BadCover("nope".into()),
+            "planning errors round-trip unchanged"
+        );
+        assert!(QueryError::Overloaded.to_string().contains("overloaded"));
+    }
+
+    #[test]
+    fn queue_depth_from_env() {
+        // Clear any ambient override first: WCOJ_QUEUE_DEPTH is exactly
+        // the knob a CI job or developer shell might export. (No other
+        // test in this binary touches process env vars.)
+        std::env::remove_var("WCOJ_QUEUE_DEPTH");
+        assert_eq!(
+            ServiceConfig::from_env().queue_depth,
+            0,
+            "unset → unbounded"
+        );
+        std::env::set_var("WCOJ_QUEUE_DEPTH", "7");
+        let cfg = ServiceConfig::from_env();
+        std::env::remove_var("WCOJ_QUEUE_DEPTH");
+        assert_eq!(cfg.queue_depth, 7);
+        // malformed values warn (once) and fall back to unbounded
+        std::env::set_var("WCOJ_QUEUE_DEPTH", "lots");
+        let cfg = ServiceConfig::from_env();
+        std::env::remove_var("WCOJ_QUEUE_DEPTH");
+        assert_eq!(cfg.queue_depth, 0);
+        assert!(
+            wcoj_exec::malformed_env_warnings()
+                .iter()
+                .any(|k| k == "WCOJ_QUEUE_DEPTH"),
+            "fallback is signalled, not silent"
+        );
     }
 
     #[test]

@@ -90,4 +90,39 @@ fn main() {
         res.relation.len(),
         res.columns,
     );
+
+    // --- 4. bounded admission: shed or wait under overload ------------
+    // A service with a queue bound refuses (sheds) burst submissions
+    // past the bound instead of queueing without limit; callers that
+    // prefer delay use submit_blocking. WCOJ_QUEUE_DEPTH overrides the
+    // bound (ServiceConfig::from_env); default here: 2.
+    let mut bounded_cfg = ServiceConfig::from_env();
+    bounded_cfg.workers = 2;
+    if bounded_cfg.queue_depth == 0 {
+        bounded_cfg.queue_depth = 2;
+    }
+    let depth = bounded_cfg.queue_depth;
+    let bounded = Service::new(bounded_cfg);
+    let mut shed = 0usize;
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        match bounded.submit(&prepared, &cfg) {
+            Ok(h) => handles.push(h),
+            Err(SubmitError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("submit: {e}"),
+        }
+    }
+    // a blocking submission waits out the overload instead
+    let blocked = bounded
+        .submit_blocking(&prepared, &cfg)
+        .expect("blocking submit never sheds");
+    handles.push(blocked);
+    for h in handles {
+        assert_eq!(h.wait().expect("join").relation.len(), out.relation.len());
+    }
+    let counters = bounded.counters();
+    println!(
+        "bounded service (depth {depth}): {} accepted, {shed} shed, counters {counters:?}",
+        counters.submitted,
+    );
 }

@@ -13,7 +13,7 @@
 //! |-------|----------|
 //! | [`core`] (`wcoj-core`) | the NPRR algorithm (§5), the Loomis–Whitney algorithm (§4), arity-≤2 star/cycle joins (§7.1), relaxed joins (§7.2), full CQs + FDs (§7.3), algorithmic BT/LW (§3) |
 //! | [`exec`] (`wcoj-exec`) | the partition-parallel execution engine: two-level root-domain sharding over a worker pool — heavy root values split further into anchor sub-shards (`par_join`, `ExecConfig`, `Algorithm::NprrParallel`) |
-//! | [`service`] (`wcoj-service`) | the shared-pool concurrent query scheduler: one global worker pool serving many in-flight queries (`Service`, `QueryHandle`) |
+//! | [`service`] (`wcoj-service`) | the shared-pool concurrent query scheduler: one global worker pool serving many in-flight queries with bounded admission (shed or block under overload) and round-robin fair dispatch (`Service`, `QueryHandle`, `SubmitError`) |
 //! | [`storage`] | relations, relational algebra, the counted-trie search tree |
 //! | [`hypergraph`] | query hypergraphs, fractional covers, AGM bounds, Lemma 3.2 tightening, Lemma 7.2 half-integrality |
 //! | [`lp`] | the two-phase simplex solver (f64 + exact rational) |
@@ -48,7 +48,7 @@ pub use wcoj_storage as storage;
 
 pub use wcoj_core::{agm_cover, Algorithm, JoinOutput, JoinQuery, JoinStats};
 pub use wcoj_exec::{par_join, ExecConfig, ShardSplit};
-pub use wcoj_service::{QueryHandle, Service, ServiceConfig};
+pub use wcoj_service::{QueryHandle, Service, ServiceConfig, ServiceCounters, SubmitError};
 
 /// Computes the natural join of `relations` with automatic algorithm
 /// selection (see [`wcoj_core::join`]). The facade wrapper additionally
@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::core::{agm_cover, Algorithm, JoinQuery};
     pub use crate::exec::{par_join, ExecConfig, ShardSplit};
     pub use crate::query::{execute, load_csv, parse_query, Catalog};
-    pub use crate::service::{QueryHandle, Service, ServiceConfig};
+    pub use crate::service::{QueryHandle, Service, ServiceConfig, ServiceCounters, SubmitError};
     pub use crate::storage::{Attr, Datum, Dictionary, Relation, Schema, Value};
     pub use crate::{join, join_with};
 }
