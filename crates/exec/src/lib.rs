@@ -56,6 +56,7 @@ use std::sync::Mutex;
 
 use wcoj_core::nprr::{AnchorRange, PreparedQuery, RootShard};
 use wcoj_core::{JoinOutput, JoinQuery, JoinStats, QueryError};
+use wcoj_obs::{TraceEvent, TraceLevel};
 use wcoj_storage::{Relation, SearchTree, TrieIndex, Value};
 
 /// How the planner carves the root-candidate list into shards.
@@ -197,6 +198,27 @@ pub fn read_env_usize(key: &str) -> Option<usize> {
         Ok(v) => Some(v),
         Err(_) => {
             warn_malformed_env(key, &format!("value {raw:?} is not a non-negative integer"));
+            None
+        }
+    }
+}
+
+/// Reads the `WCOJ_TRACE` trace-level knob (`off`/`0`, `summary`/`1`,
+/// `verbose`/`2` — see [`TraceLevel::parse`]). Unset → `None`; malformed
+/// → `None` **plus** the same one-time warning and
+/// [`malformed_env_warnings`] entry as every other `WCOJ_*` knob.
+/// `wcoj-service` applies the result to the global
+/// [`trace`](wcoj_obs::trace) ring at construction.
+#[must_use]
+pub fn trace_level_from_env() -> Option<TraceLevel> {
+    let raw = std::env::var("WCOJ_TRACE").ok()?;
+    match TraceLevel::parse(&raw) {
+        Some(level) => Some(level),
+        None => {
+            warn_malformed_env(
+                "WCOJ_TRACE",
+                &format!("value {raw:?} is not off/summary/verbose (or 0/1/2)"),
+            );
             None
         }
     }
@@ -560,6 +582,29 @@ impl ShardPlan {
                 (shards, weights.len())
             }
         };
+        // Heavy-split decisions are worth tracing: they are the planner's
+        // answer to skew, and sub-shard counts explain why a plan exceeds
+        // its sizing target. Payload is only computed when tracing is on.
+        let ring = wcoj_obs::trace();
+        if ring.enabled(TraceLevel::Summary) {
+            let sub_shards = shards.iter().filter(|s| s.anchor.is_some()).count();
+            if sub_shards > 0 {
+                // Sub-shards of one root value are contiguous and share
+                // their root range; count the runs to count the values.
+                let values = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, s)| s.anchor.is_some() && (*i == 0 || shards[i - 1].lo != s.lo))
+                    .count();
+                ring.record(
+                    TraceLevel::Summary,
+                    TraceEvent::HeavySplit {
+                        values: values as u32,
+                        sub_shards: sub_shards as u32,
+                    },
+                );
+            }
+        }
         ShardPlan {
             shards,
             root_candidates,
@@ -1292,6 +1337,68 @@ mod tests {
         let cfg = ExecConfig::from_env();
         std::env::remove_var("WCOJ_HEAVY_SPLIT");
         assert_eq!(cfg.heavy_split_factor, 5);
+    }
+
+    #[test]
+    fn trace_env_knob_parses_and_warns() {
+        let _env = ENV_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::remove_var("WCOJ_TRACE");
+        assert_eq!(trace_level_from_env(), None, "unset → None");
+        std::env::set_var("WCOJ_TRACE", "summary");
+        assert_eq!(trace_level_from_env(), Some(TraceLevel::Summary));
+        std::env::set_var("WCOJ_TRACE", "2");
+        assert_eq!(trace_level_from_env(), Some(TraceLevel::Verbose));
+        // malformed: falls back AND lands in the warn-once registry, like
+        // every other WCOJ_* knob
+        std::env::set_var("WCOJ_TRACE", "loud");
+        assert_eq!(trace_level_from_env(), None);
+        std::env::remove_var("WCOJ_TRACE");
+        assert_eq!(
+            malformed_env_warnings()
+                .iter()
+                .filter(|k| k.as_str() == "WCOJ_TRACE")
+                .count(),
+            1,
+            "fallback is signalled, not silent"
+        );
+    }
+
+    #[test]
+    fn heavy_split_planning_is_traced() {
+        // hot_key_triangle concentrates the root domain on one value, so a
+        // work-based plan with splitting enabled must sub-split it — and,
+        // with tracing at summary, record that decision. The global ring
+        // is shared across tests; filter for our own event shape instead
+        // of expecting exclusive ownership.
+        let rels = wcoj_datagen::hot_key_triangle(23, 96, 2);
+        let prepared = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            heavy_split_factor: 4,
+            ..ExecConfig::default()
+        };
+        let ring = wcoj_obs::trace();
+        let level_before = ring.level();
+        ring.set_level(TraceLevel::Summary);
+        let plan = ShardPlan::plan(&prepared, 8, &cfg);
+        let events = ring.drain();
+        ring.set_level(level_before);
+        let planned_subs = plan.shards().iter().filter(|s| s.anchor.is_some()).count();
+        assert!(planned_subs >= 2, "hot key sub-split: {plan:?}");
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::HeavySplit { values, sub_shards }
+                    if *values >= 1 && *sub_shards as usize == planned_subs
+            )),
+            "heavy-split decision traced: {events:?}"
+        );
+        // with tracing off, planning records nothing
+        let before = ring.len();
+        let _ = ShardPlan::plan(&prepared, 8, &cfg);
+        assert_eq!(ring.len(), before, "Off level records nothing");
     }
 
     #[test]

@@ -1,0 +1,597 @@
+//! The metrics registry: atomic counters, gauges, log2 histograms, and
+//! the Prometheus text exposition.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter. One relaxed atomic RMW per update.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue lengths, in-flight counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Subtracts `d`.
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i < HISTOGRAM_BUCKETS - 1` counts
+/// observations `v ≤ 2^i − 1` (so the finite upper bounds are
+/// 0, 1, 3, 7, …, 2^30 − 1); the last bucket is the `+Inf` overflow. With
+/// microsecond observations the finite range tops out around 17 minutes —
+/// ample for query latencies — and the whole histogram is 34 atomics.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-bucket log2 histogram of `u64` observations. `observe` is three
+/// relaxed atomic RMWs and never allocates — safe on the scheduler hot
+/// path. Quantiles are nearest-rank over the bucket counts (the same
+/// definition as [`percentile_u64`](crate::percentile_u64)), reported as
+/// the containing bucket's inclusive upper bound, i.e. within 2× of the
+/// exact sample percentile.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Histogram {
+        // `AtomicU64` isn't Copy; an inline-const repeat element works.
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for `v`: the first bucket whose upper bound
+    /// (2^i − 1) is ≥ `v`, clamped into the `+Inf` overflow bucket.
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        let bits = (u64::BITS - v.leading_zeros()) as usize;
+        bits.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of bucket `i` (`u64::MAX` for the
+    /// overflow bucket).
+    #[must_use]
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state (buckets are read individually, so a
+    /// snapshot racing `observe` may be mid-update by one observation —
+    /// fine for reporting).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+
+    /// The nearest-rank `q`-quantile (`q` in `[0, 1]`), reported as the
+    /// upper bound of the bucket holding the ranked observation. `0` when
+    /// empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.max(0.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Histogram::bucket_bound(i);
+            }
+        }
+        Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// One registered metric.
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A set of named metrics with **get-or-create** registration: asking for
+/// an existing name returns a handle to the same underlying metric (so
+/// two `Service`s in one process share `wcoj_service_*` series instead of
+/// clobbering each other), while asking for an existing name *as a
+/// different kind* panics — that is a programming error, not load-time
+/// input.
+///
+/// Registration takes the registry mutex; updates through the returned
+/// `Arc` handles are lock-free. Callers are expected to register once at
+/// startup and cache the handles.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry (use [`global`] for the process-wide one).
+    #[must_use]
+    pub const fn new() -> Registry {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Metric,
+        get: impl Fn(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return get(&e.metric).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as a {}",
+                    e.metric.type_name()
+                )
+            });
+        }
+        let metric = make();
+        let handle = get(&metric).expect("freshly made metric has the requested kind");
+        entries.push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            metric,
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) a counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind, or is
+    /// not a valid Prometheus metric name.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a gauge.
+    ///
+    /// # Panics
+    /// Like [`Registry::counter`].
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a histogram.
+    ///
+    /// # Panics
+    /// Like [`Registry::counter`].
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format (metrics sorted by name, histograms with cumulative
+    /// `_bucket{le=…}` series plus `_sum` / `_count`). The output passes
+    /// [`check_exposition`]; serving it over HTTP *is* a `/metrics`
+    /// endpoint.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| entries[a].name.cmp(&entries[b].name));
+        let mut out = String::new();
+        for i in order {
+            let e = &entries[i];
+            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            let _ = writeln!(out, "# TYPE {} {}", e.name, e.metric.type_name());
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (b, &c) in snap.buckets.iter().enumerate() {
+                        cumulative += c;
+                        if b == HISTOGRAM_BUCKETS - 1 {
+                            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {cumulative}", e.name);
+                        } else {
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{{le=\"{}\"}} {cumulative}",
+                                e.name,
+                                Histogram::bucket_bound(b)
+                            );
+                        }
+                    }
+                    let _ = writeln!(out, "{}_sum {}", e.name, snap.sum);
+                    let _ = writeln!(out, "{}_count {}", e.name, snap.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry every wcoj crate instruments into.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_pairs(s: &str) -> bool {
+    // key="value",key="value"  — values may not contain unescaped quotes.
+    s.split(',').all(|pair| {
+        pair.split_once('=').is_some_and(|(k, v)| {
+            valid_metric_name(k) && v.len() >= 2 && v.starts_with('"') && v.ends_with('"')
+        })
+    })
+}
+
+/// Validates the Prometheus text exposition format as far as this crate
+/// produces it: every non-blank line must be a `# HELP name help…` or
+/// `# TYPE name counter|gauge|histogram` comment, or a sample of the form
+/// `name value` / `name{labels} value` with a well-formed metric name,
+/// well-formed `key="value"` labels, and a numeric value (`+Inf` / `NaN`
+/// allowed). Returns the first offending line.
+///
+/// # Errors
+/// A description quoting the malformed line.
+pub fn check_exposition(text: &str) -> Result<(), String> {
+    for (no, line) in text.lines().enumerate() {
+        let err = |what: &str| Err(format!("line {}: {what}: {line:?}", no + 1));
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let Some((kind, rest)) = rest.split_once(' ') else {
+                return err("bare comment marker");
+            };
+            let Some((name, detail)) = rest.split_once(' ') else {
+                return err("comment missing text after the metric name");
+            };
+            if !valid_metric_name(name) {
+                return err("invalid metric name in comment");
+            }
+            match kind {
+                "HELP" => {}
+                "TYPE" => {
+                    if !matches!(detail, "counter" | "gauge" | "histogram" | "summary") {
+                        return err("unknown metric type");
+                    }
+                }
+                _ => return err("comment is neither HELP nor TYPE"),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return err("sample line has no value");
+        };
+        if !(value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN")) {
+            return err("sample value is not numeric");
+        }
+        let name = match series.split_once('{') {
+            None => series,
+            Some((name, rest)) => {
+                let Some(labels) = rest.strip_suffix('}') else {
+                    return err("unterminated label set");
+                };
+                if !valid_label_pairs(labels) {
+                    return err("malformed label pairs");
+                }
+                name
+            }
+        };
+        if !valid_metric_name(name) {
+            return err("invalid metric name in sample");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(2);
+        g.sub(10);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn histogram_bucket_layout() {
+        // exact power-of-two boundaries: v ≤ 2^i − 1 lands in bucket i
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(3), 7);
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // every value is ≤ its bucket's bound and > the previous bound
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 20, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_bound(i), "{v}");
+            if i > 0 {
+                assert!(v > Histogram::bucket_bound(i - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observe_and_quantile() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        // median of 1..=100 is 50 → bucket bound 63
+        assert_eq!(h.quantile(0.5), 63);
+        // p99 is 99 → bucket bound 127; p100 is 100 → same bucket
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(1.0), 127);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_handles() {
+        let r = Registry::new();
+        let a = r.counter("wcoj_test_total", "a test counter");
+        let b = r.counter("wcoj_test_total", "a test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same underlying counter");
+        let g = r.gauge("wcoj_test_gauge", "a test gauge");
+        g.set(5);
+        let h = r.histogram("wcoj_test_hist", "a test histogram");
+        h.observe(9);
+        assert_eq!(r.histogram("wcoj_test_hist", "again").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("wcoj_test_total", "a counter");
+        let _ = r.gauge("wcoj_test_total", "now a gauge?");
+    }
+
+    #[test]
+    fn render_prometheus_is_sorted_and_valid() {
+        let r = Registry::new();
+        r.counter("wcoj_b_total", "second by name").add(2);
+        r.counter("wcoj_a_total", "first by name").inc();
+        r.gauge("wcoj_g", "a gauge").set(-3);
+        let h = r.histogram("wcoj_lat_us", "a latency histogram");
+        h.observe(5);
+        h.observe(500);
+        let text = r.render_prometheus();
+        check_exposition(&text).expect("exposition is well-formed");
+        let a = text.find("wcoj_a_total").unwrap();
+        let b = text.find("wcoj_b_total").unwrap();
+        assert!(a < b, "metrics sorted by name");
+        assert!(text.contains("# TYPE wcoj_lat_us histogram"));
+        assert!(text.contains("wcoj_lat_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("wcoj_lat_us_sum 505"));
+        assert!(text.contains("wcoj_lat_us_count 2"));
+        assert!(text.contains("wcoj_g -3"));
+        // cumulative buckets: the le="7" bucket already counts the 5
+        assert!(text.contains("wcoj_lat_us_bucket{le=\"7\"} 1"));
+    }
+
+    #[test]
+    fn check_exposition_rejects_garbage() {
+        assert!(check_exposition("wcoj_ok 1\n").is_ok());
+        assert!(check_exposition("wcoj_ok{le=\"7\"} 1\n").is_ok());
+        assert!(check_exposition("# HELP wcoj_ok fine\n").is_ok());
+        assert!(check_exposition("# TYPE wcoj_ok counter\n").is_ok());
+        for bad in [
+            "just words here x",       // value not numeric
+            "# TYPE wcoj_ok rocket\n", // unknown type
+            "# NOTE wcoj_ok hm\n",     // unknown comment
+            "wcoj_ok{le=7} 1\n",       // unquoted label value
+            "wcoj_ok{le=\"7\" 1\n",    // unterminated labels
+            "1metric 2\n",             // invalid name
+            "wcoj_ok\n",               // no value
+        ] {
+            assert!(check_exposition(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("wcoj_obs_selftest_total", "global registry smoke test");
+        let before = c.get();
+        global()
+            .counter("wcoj_obs_selftest_total", "global registry smoke test")
+            .inc();
+        assert_eq!(c.get(), before + 1);
+        check_exposition(&global().render_prometheus()).expect("global exposition well-formed");
+    }
+}

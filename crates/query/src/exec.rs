@@ -38,6 +38,20 @@ impl QueryResult {
 /// [`QueryTextError::ArityMismatch`] /
 /// [`QueryTextError::UnboundHeadVariable`]) or evaluation failures.
 pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryTextError> {
+    execute_profiled(q, catalog).map(|(result, _)| result)
+}
+
+/// [`execute`] plus the scheduler's per-query execution profile. The
+/// profile is `Some` exactly when the catalog routes through an attached
+/// [`Service`](wcoj_service::Service) — the sequential and per-call
+/// parallel engines have no scheduler to profile.
+///
+/// # Errors
+/// Same as [`execute`].
+pub fn execute_profiled(
+    q: &ParsedQuery,
+    catalog: &Catalog,
+) -> Result<(QueryResult, Option<wcoj_service::QueryProfile>), QueryTextError> {
     // Using the text front-end implies both engines are linked; make
     // Algorithm::NprrParallel dispatchable process-wide (idempotent).
     wcoj_exec::install();
@@ -95,18 +109,18 @@ pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryT
     // otherwise.
     let reduced = wcoj_core::fullcq::reduce_all(&subgoals)
         .map_err(|e| QueryTextError::Eval(e.to_string()))?;
+    let mut profile = None;
     let full = if let Some(service) = catalog.service() {
-        service
-            .join(&reduced)
-            .map_err(|e| match e {
-                // Admission-control shed: surface the typed 429 so the
-                // front end can distinguish "retry later" from a real
-                // evaluation failure (applies to text queries and Datalog
-                // program rules alike — both route through here).
-                wcoj_core::QueryError::Overloaded => QueryTextError::Overloaded,
-                e => QueryTextError::Eval(e.to_string()),
-            })?
-            .relation
+        let (out, query_profile) = service.join_profiled(&reduced).map_err(|e| match e {
+            // Admission-control shed: surface the typed 429 so the
+            // front end can distinguish "retry later" from a real
+            // evaluation failure (applies to text queries and Datalog
+            // program rules alike — both route through here).
+            wcoj_core::QueryError::Overloaded => QueryTextError::Overloaded,
+            e => QueryTextError::Eval(e.to_string()),
+        })?;
+        profile = Some(query_profile);
+        out.relation
     } else if let Some(cfg) = catalog.parallel() {
         wcoj_exec::par_join(&reduced, cfg)
             .map_err(|e| QueryTextError::Eval(e.to_string()))?
@@ -122,10 +136,13 @@ pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryT
     } else {
         project(&full, &head_attrs).map_err(|e| QueryTextError::Eval(e.to_string()))?
     };
-    Ok(QueryResult {
-        relation,
-        columns: q.head_vars.clone(),
-    })
+    Ok((
+        QueryResult {
+            relation,
+            columns: q.head_vars.clone(),
+        },
+        profile,
+    ))
 }
 
 #[cfg(test)]
@@ -295,6 +312,33 @@ mod tests {
         let pooled = execute(&q, &c).unwrap();
         assert_eq!(pooled.relation, seq.relation, "service route");
         assert_eq!(service.submitted(), 1);
+    }
+
+    #[test]
+    fn profiled_execution_through_catalog_routes() {
+        use std::sync::Arc;
+        use wcoj_service::{Service, ServiceConfig};
+        let mut c = catalog_with_triangle();
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+
+        // No service attached: same result, no profile to report.
+        let (seq, profile) = super::execute_profiled(&q, &c).unwrap();
+        assert!(profile.is_none(), "no scheduler, no profile");
+
+        // Service route: the profile arrives complete, covers every
+        // scheduled shard, and its row total matches the *pre-projection*
+        // join — which for this full query is the output itself.
+        let service = Arc::new(Service::new(ServiceConfig::with_workers(2)));
+        c.set_service(Some(Arc::clone(&service)));
+        let (out, profile) = super::execute_profiled(&q, &c).unwrap();
+        assert_eq!(out.relation, seq.relation);
+        let profile = profile.expect("service route reports a profile");
+        assert!(profile.is_complete());
+        assert!(profile.reassembled.is_some());
+        assert_eq!(profile.total_rows(), out.relation.len() as u64);
+        // execute() is the same path minus the profile.
+        assert_eq!(execute(&q, &c).unwrap().relation, seq.relation);
+        assert_eq!(service.submitted(), 2);
     }
 
     #[test]

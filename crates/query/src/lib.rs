@@ -55,7 +55,7 @@ pub(crate) mod test_support {
 
 pub use catalog::Catalog;
 pub use csv::load_csv;
-pub use exec::{execute, QueryResult};
+pub use exec::{execute, execute_profiled, QueryResult};
 pub use parser::{parse_query, ParsedAtom, ParsedQuery, ParsedTerm};
 pub use program::{parse_program, run_program, Program};
 // Re-export so front-end users can opt catalogs into parallel execution

@@ -51,10 +51,25 @@
 //!   the engine run, so an abandoned handle stops burning the pool
 //!   almost immediately (and its admission slot is released when the
 //!   ring drains).
-//! * **Observability**: [`Service::counters`] snapshots lifetime
-//!   `submitted` / `completed` / `shed` / `cancelled` / `skipped_tasks`
-//!   plus instantaneous `in_flight` and `queued_tasks`, for bench
-//!   harnesses and load shedding dashboards.
+//! * **Observability** (all of it compiled in, cheap or free when off):
+//!   [`Service::counters`] snapshots lifetime `submitted` / `completed` /
+//!   `shed` / `cancelled` / `skipped_tasks` plus instantaneous
+//!   `in_flight` and `queued_tasks` — taken under the scheduler lock, so
+//!   every snapshot is *internally consistent* (never `completed >
+//!   submitted`, never `queued_tasks > 0` with `in_flight == 0`). With
+//!   [`ServiceConfig::obs`] on (the default) the service also feeds the
+//!   process-wide `wcoj-obs` metrics registry (counters, gauges, and
+//!   latency histograms — `wcoj_obs::global().render_prometheus()` is a
+//!   `/metrics` endpoint body) and records per-query
+//!   [`QueryProfile`]s: lifecycle phase timestamps (admitted → planned →
+//!   first/last task → reassembled) plus a per-shard breakdown (queue
+//!   wait, run time, rows, [`JoinStats`]) via [`QueryHandle::profile`] /
+//!   [`QueryHandle::wait_profiled`]. Timestamps are taken at *task*
+//!   granularity only, never per tuple. Scheduler decisions (admit /
+//!   shed / cancel / skip / ring rotation) additionally land in the
+//!   bounded `wcoj_obs::trace()` event ring when `WCOJ_TRACE` (or
+//!   [`TraceRing::set_level`](wcoj_obs::TraceRing::set_level)) raises its
+//!   level.
 //!
 //! Degenerate queries never touch the pool: an empty input relation or an
 //! empty root-candidate intersection (a *zero-shard plan*) resolves to a
@@ -81,13 +96,14 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use wcoj_core::nprr::{PreparedQuery, RootShard};
 use wcoj_core::{JoinOutput, JoinStats, QueryError};
 use wcoj_exec::{ExecConfig, ShardPlan, OVERSPLIT};
+use wcoj_obs::{trace, Counter, Gauge, Histogram, TraceEvent, TraceLevel};
 use wcoj_storage::{Relation, SearchTree, TrieIndex, Value};
 
 /// Stats label reported by service-scheduled runs.
@@ -116,6 +132,14 @@ pub struct ServiceConfig {
     /// immediately release a slot, so they are also shed under overload
     /// — admission stays a pure front-door check that costs no planning.
     pub queue_depth: usize,
+    /// Whether the service records into the process-wide `wcoj-obs`
+    /// metrics registry and takes per-task timestamps for
+    /// [`QueryProfile`]s (default `true`). Off, the per-task `Instant`
+    /// reads and histogram updates become no-ops — the comparison arm of
+    /// the `e17_obs_overhead` bench — while [`Service::counters`],
+    /// correctness accounting, and per-shard row/stats bookkeeping stay
+    /// on.
+    pub obs: bool,
 }
 
 impl Default for ServiceConfig {
@@ -124,6 +148,7 @@ impl Default for ServiceConfig {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             exec: ExecConfig::default(),
             queue_depth: 0,
+            obs: true,
         }
     }
 }
@@ -146,15 +171,31 @@ impl ServiceConfig {
         self
     }
 
+    /// Returns `self` with observability recording toggled (see
+    /// [`ServiceConfig::obs`]).
+    #[must_use]
+    pub fn with_obs(mut self, obs: bool) -> ServiceConfig {
+        self.obs = obs;
+        self
+    }
+
     /// Default config with the admission bound overridden by the
     /// `WCOJ_QUEUE_DEPTH` environment variable when set (malformed values
     /// warn once and fall back, like every numeric `WCOJ_*` knob — see
-    /// [`wcoj_exec::read_env_usize`]).
+    /// [`wcoj_exec::read_env_usize`]). Also applies `WCOJ_TRACE`
+    /// (`off`/`summary`/`verbose`, same warn-once fallback —
+    /// [`wcoj_exec::trace_level_from_env`]) to the process-wide
+    /// [`wcoj_obs::trace`] ring: the trace level is global state, not a
+    /// per-service knob, and this is the one env-driven construction
+    /// point.
     #[must_use]
     pub fn from_env() -> ServiceConfig {
         let mut cfg = ServiceConfig::default();
         if let Some(d) = wcoj_exec::read_env_usize("WCOJ_QUEUE_DEPTH") {
             cfg.queue_depth = d;
+        }
+        if let Some(level) = wcoj_exec::trace_level_from_env() {
+            trace().set_level(level);
         }
         cfg
     }
@@ -246,6 +287,218 @@ pub struct ServiceCounters {
     pub queued_tasks: usize,
 }
 
+/// The service's handles into the process-wide `wcoj-obs` registry.
+/// Registered once per process (get-or-create by name), shared by every
+/// [`Service`] whose config has [`ServiceConfig::obs`] on — the registry
+/// aggregates across services the way a scrape endpoint would.
+struct ServiceMetrics {
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    shed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    skipped_tasks: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+    queued_tasks: Arc<Gauge>,
+    query_latency_us: Arc<Histogram>,
+    admission_wait_us: Arc<Histogram>,
+    task_queue_wait_us: Arc<Histogram>,
+    task_run_us: Arc<Histogram>,
+    shard_rows: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    fn get() -> &'static ServiceMetrics {
+        static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = wcoj_obs::global();
+            ServiceMetrics {
+                submitted: r.counter(
+                    "wcoj_service_submitted_total",
+                    "Accepted submissions (incl. degenerate submit-time resolutions)",
+                ),
+                completed: r.counter(
+                    "wcoj_service_completed_total",
+                    "Queries whose last task drained",
+                ),
+                shed: r.counter(
+                    "wcoj_service_shed_total",
+                    "Submissions refused by admission control",
+                ),
+                cancelled: r.counter(
+                    "wcoj_service_cancelled_total",
+                    "Handles dropped before the query finished",
+                ),
+                skipped_tasks: r.counter(
+                    "wcoj_service_skipped_tasks_total",
+                    "Tasks popped but skipped because their query was cancelled",
+                ),
+                in_flight: r.gauge(
+                    "wcoj_service_in_flight",
+                    "Admitted-but-unfinished queries right now",
+                ),
+                queued_tasks: r.gauge(
+                    "wcoj_service_queued_tasks",
+                    "Shard tasks waiting on the injector right now",
+                ),
+                query_latency_us: r.histogram(
+                    "wcoj_query_latency_us",
+                    "Submit to last-task-drained, per accepted query (microseconds)",
+                ),
+                admission_wait_us: r.histogram(
+                    "wcoj_admission_wait_us",
+                    "Time spent waiting for an admission slot (microseconds)",
+                ),
+                task_queue_wait_us: r.histogram(
+                    "wcoj_task_queue_wait_us",
+                    "Per task: ring push to worker pop (microseconds)",
+                ),
+                task_run_us: r.histogram(
+                    "wcoj_task_run_us",
+                    "Per task: engine run time (microseconds)",
+                ),
+                shard_rows: r.histogram("wcoj_shard_rows", "Per task: output rows"),
+            }
+        })
+    }
+}
+
+/// Process-unique query ids, shared across services so trace events from
+/// concurrent services never collide. Starts at 1 — 0 never names a query.
+static QUERY_IDS: AtomicU64 = AtomicU64::new(1);
+
+fn next_query_id() -> u64 {
+    QUERY_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The execution profile of one submitted query
+/// ([`QueryHandle::profile`] / [`QueryHandle::wait_profiled`]). All
+/// timestamps are durations **since submit entry**, taken at task
+/// granularity; phases that have not happened (yet) are `None`.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Process-unique id (matches the `query` field of this query's
+    /// [`TraceEvent`]s).
+    pub query_id: u64,
+    /// Submit → admission slot acquired (how long admission control made
+    /// the submitter wait; ≈ 0 for non-blocking accepts).
+    pub admitted: Duration,
+    /// Submit → shard plan computed. `None` for empty-input degenerates
+    /// (planning never ran).
+    pub planned: Option<Duration>,
+    /// Submit → the first worker picked up a task. `None` until then and
+    /// for degenerate queries (no task ever dispatched).
+    pub first_dispatch: Option<Duration>,
+    /// Submit → the last task drained. `None` while the query is still
+    /// running. Zero-duration per-task timing (obs off) still sets this
+    /// phase's *presence*, but the value collapses toward the coarse
+    /// lifecycle clock.
+    pub last_finish: Option<Duration>,
+    /// Submit → output reassembled (slot-order merge done). `None` until
+    /// `wait()`; degenerate queries reassemble at submit time.
+    pub reassembled: Option<Duration>,
+    /// Tasks the shard plan scheduled (0 for degenerate queries).
+    pub total_shards: usize,
+    /// Per-shard breakdowns, in slot (= root-value) order; one entry per
+    /// *drained* task, so `shards.len() < total_shards` while running.
+    pub shards: Vec<ShardProfile>,
+    /// The handle was dropped before the query finished.
+    pub cancelled: bool,
+}
+
+impl QueryProfile {
+    /// `true` iff every scheduled shard has drained and reported.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.shards.len() == self.total_shards
+    }
+
+    /// Total rows across the per-shard breakdowns. Shards partition the
+    /// root domain, so for a finished, uncancelled query this equals the
+    /// final output's row count.
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        self.shards.iter().map(|s| s.rows).sum()
+    }
+}
+
+/// One drained shard task's slice of a [`QueryProfile`].
+#[derive(Debug, Clone)]
+pub struct ShardProfile {
+    /// Slot index in the shard plan (= reassembly order).
+    pub slot: usize,
+    /// Ring push → worker pop ([`Duration::ZERO`] when
+    /// [`ServiceConfig::obs`] is off).
+    pub queue_wait: Duration,
+    /// Engine run time ([`Duration::ZERO`] when obs is off or the task
+    /// was skipped).
+    pub run: Duration,
+    /// Rows this shard produced (0 for skipped tasks).
+    pub rows: u64,
+    /// The task was popped after cancellation and skipped the engine run.
+    pub skipped: bool,
+    /// The shard's engine stats; [`JoinStats::absorb`]ing them in slot
+    /// order over a zeroed base reproduces the final output's stats.
+    pub stats: JoinStats,
+}
+
+/// Profile bookkeeping shared between the submitting thread, the pool
+/// workers, and the handle. Timestamps are nanosecond offsets from
+/// `base` (submit entry), stored in atomics so workers never take a lock
+/// for a phase mark.
+struct ProfileState {
+    query_id: u64,
+    /// The submit-entry instant every offset is relative to.
+    base: Instant,
+    admitted_ns: u64,
+    planned_ns: u64,
+    /// First task pickup; `u64::MAX` = no task dispatched yet
+    /// (`fetch_min` keeps the earliest).
+    first_dispatch_ns: AtomicU64,
+    /// Last task drained; `0` = none yet (`fetch_max` keeps the latest).
+    last_finish_ns: AtomicU64,
+    /// Output reassembled; `0` = not yet.
+    reassembled_ns: AtomicU64,
+    /// One slot per scheduled shard, filled as tasks drain.
+    shards: Mutex<Vec<Option<ShardProfile>>>,
+}
+
+impl ProfileState {
+    /// Nanoseconds since submit entry (saturating far beyond any
+    /// realistic run).
+    fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.base.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn snapshot(&self, cancelled: bool, finished: bool) -> QueryProfile {
+        let first = self.first_dispatch_ns.load(Ordering::Acquire);
+        let last = self.last_finish_ns.load(Ordering::Acquire);
+        let reassembled = self.reassembled_ns.load(Ordering::Acquire);
+        let (shards, total_shards) = {
+            let slots = self
+                .shards
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (
+                slots.iter().flatten().cloned().collect::<Vec<_>>(),
+                slots.len(),
+            )
+        };
+        QueryProfile {
+            query_id: self.query_id,
+            admitted: Duration::from_nanos(self.admitted_ns),
+            planned: Some(Duration::from_nanos(self.planned_ns)),
+            first_dispatch: (first != u64::MAX).then(|| Duration::from_nanos(first)),
+            // With per-task timing off every task stores mark 0, so use
+            // job completion (`finished`) for the phase's presence.
+            last_finish: (finished || last > 0).then(|| Duration::from_nanos(last)),
+            reassembled: (reassembled > 0).then(|| Duration::from_nanos(reassembled)),
+            total_shards,
+            shards,
+            cancelled,
+        }
+    }
+}
+
 /// A schedulable unit: one shard of one query.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -253,11 +506,18 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 /// one task per turn, so concurrent queries share the pool fairly instead
 /// of queueing behind whoever submitted first.
 struct QueryRing {
+    /// The process-unique id of the ring's query (trace events).
+    query: u64,
     tasks: VecDeque<Task>,
 }
 
-/// Everything guarded by the injector mutex: the rings plus the admission
-/// accounting the condvars signal on.
+/// Everything guarded by the injector mutex: the rings, the admission
+/// accounting the condvars signal on, **and** the lifetime counters.
+/// Keeping the counters under the same lock as the queue is what makes a
+/// [`Service::counters`] snapshot internally consistent — with them
+/// outside (the pre-observability design), a snapshot racing a fast pool
+/// could report `completed > submitted`, or a completed query as still
+/// in flight.
 struct QueueState {
     /// Per-query task rings, in round-robin rotation order. Invariant:
     /// every ring holds ≥ 1 task (empty rings are removed on pop).
@@ -267,6 +527,17 @@ struct QueueState {
     /// Admitted-but-unfinished queries (the quantity `queue_depth`
     /// bounds).
     in_flight: usize,
+    /// Accepted submissions (bumped under this lock, in the same critical
+    /// section that makes the work visible).
+    submitted: u64,
+    /// Accepted queries whose work has finished.
+    completed: u64,
+    /// Submissions shed by admission control.
+    shed: u64,
+    /// Handles dropped before their query finished.
+    cancelled: u64,
+    /// Tasks popped but skipped because their query was cancelled.
+    skipped_tasks: u64,
 }
 
 /// State shared between the submitting threads and the pool workers.
@@ -278,10 +549,11 @@ struct Injector {
     /// (blocking submitters wait here).
     space_ready: Condvar,
     shutdown: AtomicBool,
-    shed: AtomicU64,
-    completed: AtomicU64,
-    cancelled: AtomicU64,
-    skipped_tasks: AtomicU64,
+    /// Global-registry handles, `None` when [`ServiceConfig::obs`] is
+    /// off. Mirrors of the mutex-guarded counters are bumped *after* the
+    /// critical sections — the registry is a reporting surface, the
+    /// locked counters stay the source of truth.
+    metrics: Option<&'static ServiceMetrics>,
 }
 
 impl Injector {
@@ -292,15 +564,28 @@ impl Injector {
     }
 
     /// Enqueues one admitted query's tasks as a fresh ring at the back of
-    /// the rotation.
-    fn push_ring(&self, tasks: VecDeque<Task>) {
+    /// the rotation, counting the acceptance in the same critical section
+    /// that makes the work visible to workers.
+    fn push_ring(&self, query: u64, tasks: VecDeque<Task>) {
         debug_assert!(!tasks.is_empty(), "rings hold at least one task");
         let n = tasks.len();
         {
             let mut q = self.lock();
             q.queued_tasks += n;
-            q.rings.push_back(QueryRing { tasks });
+            q.submitted += 1;
+            q.rings.push_back(QueryRing { query, tasks });
         }
+        if let Some(m) = self.metrics {
+            m.submitted.inc();
+            m.queued_tasks.add(n as i64);
+        }
+        trace().record(
+            TraceLevel::Summary,
+            TraceEvent::Admit {
+                query,
+                tasks: n as u32,
+            },
+        );
         if n == 1 {
             self.task_ready.notify_one();
         } else {
@@ -314,14 +599,27 @@ impl Injector {
     fn pop(&self) -> Option<Task> {
         let mut q = self.lock();
         loop {
-            if let Some(ring) = q.rings.front_mut() {
+            if let Some(mut ring) = q.rings.pop_front() {
                 let task = ring.tasks.pop_front().expect("rings hold ≥ 1 task");
                 q.queued_tasks -= 1;
-                let ring = q.rings.pop_front().expect("front ring exists");
-                if !ring.tasks.is_empty() {
+                let rotated = if ring.tasks.is_empty() {
+                    None
+                } else {
                     // Rotate: this query goes to the back so its
                     // neighbours get the next turns.
+                    let info = (ring.query, ring.tasks.len() as u32);
                     q.rings.push_back(ring);
+                    Some(info)
+                };
+                drop(q);
+                if let Some(m) = self.metrics {
+                    m.queued_tasks.sub(1);
+                }
+                if let Some((query, remaining)) = rotated {
+                    trace().record(
+                        TraceLevel::Verbose,
+                        TraceEvent::RingRotate { query, remaining },
+                    );
                 }
                 return Some(task);
             }
@@ -335,21 +633,65 @@ impl Injector {
         }
     }
 
-    /// Releases one admission slot (a query finished, errored at planning
-    /// time, or resolved degenerately) and wakes blocked submitters.
+    /// Releases one admission slot (a query errored at planning time —
+    /// finished queries go through [`Injector::finish_query`], which also
+    /// counts them) and wakes blocked submitters.
     fn release_slot(&self) {
         {
             let mut q = self.lock();
             debug_assert!(q.in_flight > 0, "release without admission");
             q.in_flight -= 1;
         }
+        if let Some(m) = self.metrics {
+            m.in_flight.sub(1);
+        }
         self.space_ready.notify_one();
     }
 
-    /// A query's last task drained: release its slot and count it done.
-    fn finish_query(&self) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.release_slot();
+    /// A query's last task drained (or it resolved at submit time):
+    /// release its slot and count it done — **one** critical section, so
+    /// no counters snapshot can see the query both completed and in
+    /// flight.
+    fn finish_query(&self, query: u64) {
+        {
+            let mut q = self.lock();
+            debug_assert!(q.in_flight > 0, "finish without admission");
+            q.completed += 1;
+            q.in_flight -= 1;
+        }
+        if let Some(m) = self.metrics {
+            m.completed.inc();
+            m.in_flight.sub(1);
+        }
+        trace().record(TraceLevel::Summary, TraceEvent::Finish { query });
+        self.space_ready.notify_one();
+    }
+
+    /// A worker popped a task of a cancelled query and skipped the engine
+    /// run. Settled **before** [`JobState::complete`] frees the slot, so
+    /// by the time the counters report the query gone, its skips are
+    /// already in.
+    fn note_skipped(&self, query: u64, slot: usize) {
+        self.lock().skipped_tasks += 1;
+        if let Some(m) = self.metrics {
+            m.skipped_tasks.inc();
+        }
+        trace().record(
+            TraceLevel::Summary,
+            TraceEvent::SkipTask {
+                query,
+                slot: slot as u32,
+            },
+        );
+    }
+
+    /// A pending handle was dropped: its query is cancelled.
+    fn note_cancelled(&self, query: u64) {
+        self.lock().cancelled += 1;
+        if let Some(m) = self.metrics {
+            m.cancelled.inc();
+        }
+        trace().record(TraceLevel::Summary, TraceEvent::Cancel { query });
     }
 }
 
@@ -435,20 +777,22 @@ pub struct QueryHandle {
 }
 
 enum HandleInner {
-    /// Resolved at submit time (empty input, zero-shard plan).
-    Ready(Result<JoinOutput, QueryError>),
+    /// Resolved at submit time (empty input, zero-shard plan). Boxed so
+    /// the common `Pending` variant stays small.
+    Ready(Box<(Result<JoinOutput, QueryError>, QueryProfile)>),
     /// Waits on the pool, then assembles.
     Pending {
         state: Arc<JobState>,
         injector: Arc<Injector>,
+        profile: Arc<ProfileState>,
         assemble: Box<dyn FnOnce() -> Result<JoinOutput, QueryError> + Send>,
     },
 }
 
 impl QueryHandle {
-    fn ready(result: Result<JoinOutput, QueryError>) -> QueryHandle {
+    fn ready(result: Result<JoinOutput, QueryError>, profile: QueryProfile) -> QueryHandle {
         QueryHandle {
-            inner: Some(HandleInner::Ready(result)),
+            inner: Some(HandleInner::Ready(Box::new((result, profile)))),
         }
     }
 
@@ -462,8 +806,50 @@ impl QueryHandle {
     /// (the panic is re-raised here instead of deadlocking the caller).
     pub fn wait(mut self) -> Result<JoinOutput, QueryError> {
         match self.inner.take().expect("handle consumed exactly once") {
-            HandleInner::Ready(result) => result,
+            HandleInner::Ready(ready) => ready.0,
             HandleInner::Pending { assemble, .. } => assemble(),
+        }
+    }
+
+    /// Like [`wait`](QueryHandle::wait), but also returns the query's
+    /// final [`QueryProfile`] — every lifecycle phase set, every shard
+    /// reported.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    ///
+    /// # Panics
+    /// Same as [`wait`](QueryHandle::wait).
+    pub fn wait_profiled(mut self) -> Result<(JoinOutput, QueryProfile), QueryError> {
+        match self.inner.take().expect("handle consumed exactly once") {
+            HandleInner::Ready(ready) => {
+                let (result, profile) = *ready;
+                result.map(|out| (out, profile))
+            }
+            HandleInner::Pending {
+                profile, assemble, ..
+            } => {
+                let out = assemble()?;
+                Ok((out, profile.snapshot(false, true)))
+            }
+        }
+    }
+
+    /// A point-in-time [`QueryProfile`] snapshot — non-blocking, callable
+    /// while the query is still running (phases that have not happened
+    /// are `None`, `shards` holds only drained tasks).
+    ///
+    /// # Panics
+    /// If the handle was already consumed by `wait` (unreachable through
+    /// safe use: both consume `self`).
+    #[must_use]
+    pub fn profile(&self) -> QueryProfile {
+        match self.inner.as_ref().expect("handle not consumed") {
+            HandleInner::Ready(ready) => ready.1.clone(),
+            HandleInner::Pending { state, profile, .. } => profile.snapshot(
+                state.cancelled.load(Ordering::Acquire),
+                state.remaining.load(Ordering::Acquire) == 0,
+            ),
         }
     }
 
@@ -473,7 +859,7 @@ impl QueryHandle {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         match &self.inner {
-            Some(HandleInner::Ready(_)) | None => true,
+            Some(HandleInner::Ready(..)) | None => true,
             Some(HandleInner::Pending { state, .. }) => {
                 state.remaining.load(Ordering::Acquire) == 0
             }
@@ -484,7 +870,7 @@ impl QueryHandle {
 impl fmt::Debug for QueryHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.inner {
-            Some(HandleInner::Ready(_)) => f.write_str("QueryHandle(ready)"),
+            Some(HandleInner::Ready(..)) => f.write_str("QueryHandle(ready)"),
             Some(HandleInner::Pending { state, .. }) => write!(
                 f,
                 "QueryHandle(pending, {} shards outstanding)",
@@ -501,12 +887,15 @@ impl Drop for QueryHandle {
     /// nobody can read any more.
     fn drop(&mut self) {
         if let Some(HandleInner::Pending {
-            state, injector, ..
+            state,
+            injector,
+            profile,
+            ..
         }) = &self.inner
         {
             state.cancelled.store(true, Ordering::Release);
             if state.remaining.load(Ordering::Acquire) > 0 {
-                injector.cancelled.fetch_add(1, Ordering::Relaxed);
+                injector.note_cancelled(profile.query_id);
             }
         }
     }
@@ -529,7 +918,6 @@ pub struct Service {
     injector: Arc<Injector>,
     workers: Vec<JoinHandle<()>>,
     cfg: ServiceConfig,
-    submitted: AtomicU64,
 }
 
 impl Service {
@@ -545,14 +933,16 @@ impl Service {
                 rings: VecDeque::new(),
                 queued_tasks: 0,
                 in_flight: 0,
+                submitted: 0,
+                completed: 0,
+                shed: 0,
+                cancelled: 0,
+                skipped_tasks: 0,
             }),
             task_ready: Condvar::new(),
             space_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            shed: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            skipped_tasks: AtomicU64::new(0),
+            metrics: cfg.obs.then(ServiceMetrics::get),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -575,7 +965,6 @@ impl Service {
             injector,
             workers,
             cfg,
-            submitted: AtomicU64::new(0),
         }
     }
 
@@ -592,24 +981,26 @@ impl Service {
     /// counted.
     #[must_use]
     pub fn submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
+        self.injector.lock().submitted
     }
 
-    /// A point-in-time snapshot of the scheduling counters.
+    /// A point-in-time snapshot of the scheduling counters — taken in
+    /// **one** critical section of the scheduler lock, so the snapshot is
+    /// internally consistent: never `completed > submitted`, never
+    /// `queued_tasks > 0` with `in_flight == 0`, and once the service
+    /// idles, `completed == submitted` exactly (cancelled queries still
+    /// drain and complete).
     #[must_use]
     pub fn counters(&self) -> ServiceCounters {
-        let (in_flight, queued_tasks) = {
-            let q = self.injector.lock();
-            (q.in_flight, q.queued_tasks)
-        };
+        let q = self.injector.lock();
         ServiceCounters {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.injector.completed.load(Ordering::Relaxed),
-            shed: self.injector.shed.load(Ordering::Relaxed),
-            cancelled: self.injector.cancelled.load(Ordering::Relaxed),
-            skipped_tasks: self.injector.skipped_tasks.load(Ordering::Relaxed),
-            in_flight,
-            queued_tasks,
+            submitted: q.submitted,
+            completed: q.completed,
+            shed: q.shed,
+            cancelled: q.cancelled,
+            skipped_tasks: q.skipped_tasks,
+            in_flight: q.in_flight,
+            queued_tasks: q.queued_tasks,
         }
     }
 
@@ -652,40 +1043,52 @@ impl Service {
         loop {
             if depth == 0 || q.in_flight < depth {
                 q.in_flight += 1;
+                drop(q);
+                if let Some(m) = self.injector.metrics {
+                    m.in_flight.add(1);
+                }
                 return Ok(());
             }
+            let in_flight = q.in_flight;
             let overloaded = SubmitError::Overloaded {
-                in_flight: q.in_flight,
+                in_flight,
                 queue_depth: depth,
             };
-            match how {
-                Admission::Shed => {
-                    drop(q);
-                    self.injector.shed.fetch_add(1, Ordering::Relaxed);
-                    return Err(overloaded);
+            let shed_now = match how {
+                Admission::Shed => true,
+                Admission::Deadline(deadline) => Instant::now() >= *deadline,
+                Admission::Block => false,
+            };
+            if shed_now {
+                q.shed += 1;
+                drop(q);
+                if let Some(m) = self.injector.metrics {
+                    m.shed.inc();
                 }
-                Admission::Block => {
-                    q = self
-                        .injector
-                        .space_ready
-                        .wait(q)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                }
-                Admission::Deadline(deadline) => {
-                    let now = Instant::now();
-                    if now >= *deadline {
-                        drop(q);
-                        self.injector.shed.fetch_add(1, Ordering::Relaxed);
-                        return Err(overloaded);
-                    }
-                    q = self
-                        .injector
-                        .space_ready
-                        .wait_timeout(q, *deadline - now)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .0;
-                }
+                trace().record(
+                    TraceLevel::Summary,
+                    TraceEvent::Shed {
+                        in_flight: in_flight as u32,
+                    },
+                );
+                return Err(overloaded);
             }
+            q = match how {
+                Admission::Block => self
+                    .injector
+                    .space_ready
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+                Admission::Deadline(deadline) => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    self.injector
+                        .space_ready
+                        .wait_timeout(q, left)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .0
+                }
+                Admission::Shed => unreachable!("shed handled above"),
+            };
         }
     }
 
@@ -769,16 +1172,53 @@ impl Service {
 
     /// An accepted submission that resolved at submit time: it holds an
     /// admission slot (acquired in `admit`) that must be released, and it
-    /// counts as completed immediately. `submitted` is bumped **before**
-    /// `completed`, so a concurrent [`Service::counters`] snapshot never
-    /// observes `completed > submitted`.
+    /// counts as submitted **and** completed in one critical section, so
+    /// a concurrent [`Service::counters`] snapshot never observes
+    /// `completed > submitted` or a phantom in-flight query.
     fn accept_ready(
         &self,
+        query_id: u64,
+        submit_start: Instant,
+        admitted_ns: u64,
+        planned_ns: Option<u64>,
         result: Result<JoinOutput, QueryError>,
     ) -> Result<QueryHandle, SubmitError> {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.injector.finish_query();
-        Ok(QueryHandle::ready(result))
+        {
+            let mut q = self.injector.lock();
+            q.submitted += 1;
+            q.completed += 1;
+            debug_assert!(q.in_flight > 0, "accept without admission");
+            q.in_flight -= 1;
+        }
+        self.injector.space_ready.notify_one();
+        let elapsed = submit_start.elapsed();
+        if let Some(m) = self.injector.metrics {
+            m.submitted.inc();
+            m.completed.inc();
+            m.in_flight.sub(1);
+            m.query_latency_us
+                .observe(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        }
+        trace().record(
+            TraceLevel::Summary,
+            TraceEvent::Admit {
+                query: query_id,
+                tasks: 0,
+            },
+        );
+        trace().record(TraceLevel::Summary, TraceEvent::Finish { query: query_id });
+        let profile = QueryProfile {
+            query_id,
+            admitted: Duration::from_nanos(admitted_ns),
+            planned: planned_ns.map(Duration::from_nanos),
+            first_dispatch: None,
+            last_finish: None,
+            reassembled: Some(elapsed),
+            total_shards: 0,
+            shards: Vec::new(),
+            cancelled: false,
+        };
+        Ok(QueryHandle::ready(result, profile))
     }
 
     fn submit_inner<S>(
@@ -791,9 +1231,15 @@ impl Service {
     where
         S: SearchTree + Send + Sync + 'static,
     {
+        let submit_start = Instant::now();
         // Admission first: under overload the submission is refused
         // *before* any planning work (shedding is supposed to be cheap).
         self.admit(how)?;
+        let admitted_ns = u64::try_from(submit_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(m) = self.injector.metrics {
+            m.admission_wait_us.observe(admitted_ns / 1_000);
+        }
+        let query_id = next_query_id();
 
         let base_stats = |log2_bound: f64, x: &[f64]| JoinStats {
             algorithm_used: ALGORITHM,
@@ -802,12 +1248,19 @@ impl Service {
             ..JoinStats::default()
         };
 
-        // Degenerate inputs resolve immediately — no tasks, no workers.
+        // Degenerate inputs resolve immediately — no tasks, no workers
+        // (and no shard plan: `planned` stays unset).
         if prepared.query().relations().iter().any(Relation::is_empty) {
-            return self.accept_ready(Ok(JoinOutput {
-                relation: Relation::empty(prepared.query().output_schema()),
-                stats: base_stats(0.0, &[]),
-            }));
+            return self.accept_ready(
+                query_id,
+                submit_start,
+                admitted_ns,
+                None,
+                Ok(JoinOutput {
+                    relation: Relation::empty(prepared.query().output_schema()),
+                    stats: base_stats(0.0, &[]),
+                }),
+            );
         }
         let (x, log2_bound) = match prepared.resolve_cover(cover) {
             Ok(resolved) => resolved,
@@ -820,25 +1273,54 @@ impl Service {
         };
 
         let tasks = self.shard_layout(&**prepared, cfg);
+        let planned_ns = u64::try_from(submit_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if tasks.is_empty() {
             // Zero-shard plan: no root value survives the level-0
             // intersection, the output is empty.
-            return self.accept_ready(prepared.assemble(Vec::new(), base_stats(log2_bound, &x)));
+            return self.accept_ready(
+                query_id,
+                submit_start,
+                admitted_ns,
+                Some(planned_ns),
+                prepared.assemble(Vec::new(), base_stats(log2_bound, &x)),
+            );
         }
 
+        let timed = self.cfg.obs;
+        let profile = Arc::new(ProfileState {
+            query_id,
+            base: submit_start,
+            admitted_ns,
+            planned_ns,
+            first_dispatch_ns: AtomicU64::new(u64::MAX),
+            last_finish_ns: AtomicU64::new(0),
+            reassembled_ns: AtomicU64::new(0),
+            shards: Mutex::new(vec![None; tasks.len()]),
+        });
         let state = Arc::new(JobState::new(tasks.len()));
         let mut ring: VecDeque<Task> = VecDeque::with_capacity(tasks.len());
         for (i, shard) in tasks.into_iter().enumerate() {
             let prepared = Arc::clone(prepared);
             let state = Arc::clone(&state);
             let injector = Arc::clone(&self.injector);
+            let profile = Arc::clone(&profile);
             let x = x.clone();
+            // Offset of the ring push, so the worker can compute its
+            // queue wait with one subtraction (zero when timing is off).
+            let enqueued_ns = if timed { profile.elapsed_ns() } else { 0 };
             ring.push_back(Box::new(move || {
+                // With timing off the mark is 0: the phase still reads as
+                // "happened" (≠ the MAX sentinel), just with a zero value.
+                let started_ns = if timed { profile.elapsed_ns() } else { 0 };
+                profile
+                    .first_dispatch_ns
+                    .fetch_min(started_ns, Ordering::AcqRel);
                 let mut payload = None;
-                let result = if state.cancelled.load(Ordering::Acquire) {
+                let skipped = state.cancelled.load(Ordering::Acquire);
+                let result = if skipped {
                     // The handle is gone: nobody can read the rows, skip
                     // the engine run and just drain the accounting.
-                    injector.skipped_tasks.fetch_add(1, Ordering::Relaxed);
+                    injector.note_skipped(profile.query_id, i);
                     Some((Vec::new(), JoinStats::default()))
                 } else {
                     // Report a panic to the job before re-raising, so
@@ -853,10 +1335,51 @@ impl Service {
                         }
                     }
                 };
+                if let Some((rows, stats)) = &result {
+                    let finished_ns = if timed { profile.elapsed_ns() } else { 0 };
+                    let queue_wait = started_ns.saturating_sub(enqueued_ns);
+                    let run = finished_ns.saturating_sub(started_ns);
+                    if timed {
+                        profile
+                            .last_finish_ns
+                            .fetch_max(finished_ns, Ordering::AcqRel);
+                        if let Some(m) = injector.metrics {
+                            m.task_queue_wait_us.observe(queue_wait / 1_000);
+                            m.task_run_us.observe(run / 1_000);
+                            m.shard_rows.observe(rows.len() as u64);
+                        }
+                        trace().record(
+                            TraceLevel::Verbose,
+                            TraceEvent::TaskRun {
+                                query: profile.query_id,
+                                slot: i as u32,
+                                run_us: run / 1_000,
+                            },
+                        );
+                    }
+                    let shard_profile = ShardProfile {
+                        slot: i,
+                        queue_wait: Duration::from_nanos(queue_wait),
+                        run: Duration::from_nanos(run),
+                        rows: rows.len() as u64,
+                        skipped,
+                        stats: stats.clone(),
+                    };
+                    profile
+                        .shards
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] =
+                        Some(shard_profile);
+                }
                 if state.complete(i, result) {
                     // Settle with the service first: once wait() returns,
                     // the admission slot is free and the counters agree.
-                    injector.finish_query();
+                    injector.finish_query(profile.query_id);
+                    if let Some(m) = injector.metrics {
+                        m.query_latency_us.observe(
+                            u64::try_from(profile.base.elapsed().as_micros()).unwrap_or(u64::MAX),
+                        );
+                    }
                     state.notify_done();
                 }
                 if let Some(p) = payload {
@@ -864,19 +1387,20 @@ impl Service {
                 }
             }));
         }
-        // Count the acceptance before the ring is visible to workers: a
-        // fast pool could otherwise finish every shard (bumping
-        // `completed`) while `submitted` still reads one short.
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.injector.push_ring(ring);
+        // The acceptance is counted inside push_ring, under the same lock
+        // that makes the ring visible to workers: a fast pool can finish
+        // every shard only *after* `submitted` already reads right.
+        self.injector.push_ring(query_id, ring);
 
         let prepared = Arc::clone(prepared);
         let stats = base_stats(log2_bound, &x);
         let assemble_state = Arc::clone(&state);
+        let assemble_profile = Arc::clone(&profile);
         Ok(QueryHandle {
             inner: Some(HandleInner::Pending {
                 state: Arc::clone(&state),
                 injector: Arc::clone(&self.injector),
+                profile: Arc::clone(&profile),
                 assemble: Box::new(move || {
                     let state = assemble_state;
                     state.wait();
@@ -904,7 +1428,11 @@ impl Service {
                         stats.absorb(&shard_stats);
                     }
                     drop(slots);
-                    prepared.assemble(rows, stats)
+                    let out = prepared.assemble(rows, stats);
+                    assemble_profile
+                        .reassembled_ns
+                        .store(assemble_profile.elapsed_ns().max(1), Ordering::Release);
+                    out
                 }),
             }),
         })
@@ -925,6 +1453,23 @@ impl Service {
         self.submit(&prepared, &self.cfg.exec)
             .map_err(QueryError::from)?
             .wait()
+    }
+
+    /// [`Service::join`] plus the query's final [`QueryProfile`] — the
+    /// route `wcoj-query`'s `execute_profiled` uses so text-query callers
+    /// see per-shard execution breakdowns without touching the
+    /// prepare/submit API themselves.
+    ///
+    /// # Errors
+    /// Same as [`Service::join`].
+    pub fn join_profiled(
+        &self,
+        relations: &[Relation],
+    ) -> Result<(JoinOutput, QueryProfile), QueryError> {
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(relations)?);
+        self.submit(&prepared, &self.cfg.exec)
+            .map_err(QueryError::from)?
+            .wait_profiled()
     }
 }
 
@@ -1329,6 +1874,294 @@ mod tests {
                 .any(|k| k == "WCOJ_QUEUE_DEPTH"),
             "fallback is signalled, not silent"
         );
+    }
+
+    /// Satellite pin-down: a [`Service::counters`] snapshot taken at any
+    /// moment — while queries are admitted, running, finishing, and being
+    /// cancelled — is internally consistent. Before the counters moved
+    /// under the scheduler lock, a snapshot racing a fast pool could see
+    /// `completed > submitted` (the ring was pushed and fully drained
+    /// between the two atomic reads).
+    #[test]
+    fn counters_snapshots_are_internally_consistent() {
+        let service = Arc::new(Service::new(ServiceConfig::with_workers(2)));
+        let rels = triangle();
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let observer = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut samples = 0_u64;
+                while !stop.load(Ordering::Acquire) {
+                    let c = service.counters();
+                    assert!(c.completed <= c.submitted, "inconsistent snapshot: {c:?}");
+                    assert!(
+                        c.completed + c.in_flight as u64 >= c.submitted,
+                        "an accepted query is neither in flight nor completed: {c:?}"
+                    );
+                    assert!(
+                        c.queued_tasks == 0 || c.in_flight > 0,
+                        "queued tasks without an in-flight query: {c:?}"
+                    );
+                    samples += 1;
+                }
+                samples
+            })
+        };
+
+        // Churn: plenty of waits, plus dropped handles (cancellations).
+        for round in 0..60 {
+            let h1 = service.submit(&prepared, &cfg).unwrap();
+            let h2 = service.submit(&prepared, &cfg).unwrap();
+            if round % 3 == 0 {
+                drop(h1);
+            } else {
+                h1.wait().unwrap();
+            }
+            h2.wait().unwrap();
+        }
+        // Quiescence: everything drains.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let c = service.counters();
+            if c.in_flight == 0 && c.queued_tasks == 0 {
+                assert_eq!(c.submitted, 120);
+                assert_eq!(c.completed, 120, "cancelled queries still drain");
+                // ≤ 20: a drop racing the final task counts only if work
+                // was actually left to skip.
+                assert!(c.cancelled <= 20, "{c:?}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "service never drained: {c:?}");
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        let samples = observer.join().unwrap();
+        assert!(samples > 0, "the observer actually sampled");
+    }
+
+    /// The tentpole acceptance shape: a multi-shard query's profile has
+    /// monotone lifecycle phases, one entry per shard, and per-shard rows
+    /// and stats that reassemble exactly into the final output.
+    #[test]
+    fn profile_covers_every_shard_and_phases_are_monotone() {
+        let service = Service::new(ServiceConfig::with_workers(3));
+        let rels = [
+            wcoj_datagen::random_relation(21, &[0, 1], 150, 14),
+            wcoj_datagen::random_relation(22, &[1, 2], 150, 14),
+            wcoj_datagen::random_relation(23, &[0, 2], 150, 14),
+        ];
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let layout = service.shard_layout(&*prepared, &cfg);
+        assert!(layout.len() >= 2, "multi-shard plan: {}", layout.len());
+
+        let handle = service.submit(&prepared, &cfg).unwrap();
+        let (out, profile) = handle.wait_profiled().unwrap();
+        assert_eq!(out.relation, seq.relation, "profiling changes no output");
+
+        assert!(profile.query_id > 0);
+        assert!(!profile.cancelled);
+        assert_eq!(profile.total_shards, layout.len());
+        assert!(profile.is_complete());
+        assert_eq!(profile.shards.len(), layout.len());
+
+        // Phases exist and are monotone: admitted ≤ planned ≤
+        // first_dispatch ≤ last_finish ≤ reassembled.
+        let planned = profile.planned.expect("planning ran");
+        let first = profile.first_dispatch.expect("tasks dispatched");
+        let last = profile.last_finish.expect("finished");
+        let reassembled = profile.reassembled.expect("waited");
+        assert!(profile.admitted <= planned, "{profile:?}");
+        assert!(planned <= first, "{profile:?}");
+        assert!(first <= last, "{profile:?}");
+        assert!(last <= reassembled, "{profile:?}");
+
+        // Per-shard breakdown: slot order, no skips, rows sum to the
+        // output (shards partition the root domain), stats reassemble.
+        let mut stats = JoinStats::default();
+        for (slot, shard) in profile.shards.iter().enumerate() {
+            assert_eq!(shard.slot, slot, "slot order");
+            assert!(!shard.skipped);
+            stats.absorb(&shard.stats);
+        }
+        assert_eq!(profile.total_rows(), out.relation.len() as u64);
+        assert_eq!(
+            stats.case_a + stats.case_b,
+            out.stats.case_a + out.stats.case_b
+        );
+        assert_eq!(stats.shards, out.stats.shards);
+    }
+
+    #[test]
+    fn degenerate_and_cancelled_profiles() {
+        let service = Service::new(ServiceConfig::with_workers(1));
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+
+        // Empty input: no planning, no dispatch, reassembled at submit.
+        let empty_input = Arc::new(
+            PreparedQuery::<TrieIndex>::new_indexed(&[
+                rel(&[0, 1], &[&[1, 2]]),
+                Relation::empty(Schema::of(&[1, 2])),
+            ])
+            .unwrap(),
+        );
+        let handle = service.submit(&empty_input, &cfg).unwrap();
+        let profile = handle.profile();
+        assert_eq!(profile.total_shards, 0);
+        assert!(profile.planned.is_none(), "planning never ran");
+        assert!(profile.first_dispatch.is_none());
+        assert!(profile.reassembled.is_some(), "resolved at submit");
+        assert!(profile.is_complete());
+        let (out, profile) = handle.wait_profiled().unwrap();
+        assert!(out.relation.is_empty());
+        assert_eq!(profile.total_rows(), 0);
+
+        // Zero-shard plan: planning ran, still no dispatch.
+        let zero_shard = Arc::new(
+            PreparedQuery::<TrieIndex>::new_indexed(&[
+                rel(&[0, 1], &[&[10, 1], &[10, 2]]),
+                rel(&[1, 2], &[&[7, 20], &[8, 20]]),
+                rel(&[0, 2], &[&[10, 20]]),
+            ])
+            .unwrap(),
+        );
+        let profile = service.submit(&zero_shard, &cfg).unwrap().profile();
+        assert!(profile.planned.is_some(), "planning ran");
+        assert!(profile.first_dispatch.is_none());
+        assert_eq!(profile.total_shards, 0);
+
+        // Cancelled: the snapshot taken later shows the cancellation and
+        // skipped shards.
+        let (_, heavy, x) = heavy_blocker(29);
+        let handle = service.submit_with_cover(&heavy, Some(&x), &cfg).unwrap();
+        let pending_profile = handle.profile();
+        assert!(pending_profile.total_shards >= 3);
+        drop(handle);
+        // Drain, then confirm skips landed in the counters (the profile
+        // itself died with the handle — counters are the surviving view).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let c = service.counters();
+            if c.in_flight == 0 && c.queued_tasks == 0 {
+                assert!(c.skipped_tasks >= 1);
+                break;
+            }
+            assert!(Instant::now() < deadline, "cancelled query never drained");
+            std::thread::yield_now();
+        }
+    }
+
+    /// With obs off the service still produces identical outputs and
+    /// complete (if zero-duration) profiles — the no-op arm of the
+    /// `e17_obs_overhead` bench.
+    #[test]
+    fn obs_off_keeps_outputs_and_profile_shape() {
+        let service = Service::new(ServiceConfig::with_workers(2).with_obs(false));
+        let rels = triangle();
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let (out, profile) = service
+            .submit(&prepared, &cfg)
+            .unwrap()
+            .wait_profiled()
+            .unwrap();
+        assert_eq!(out.relation, seq.relation);
+        assert!(profile.is_complete());
+        assert!(profile.total_shards >= 1);
+        // Per-task durations collapse to zero, but rows/stats stay exact.
+        for shard in &profile.shards {
+            assert_eq!(shard.queue_wait, Duration::ZERO);
+            assert_eq!(shard.run, Duration::ZERO);
+        }
+        assert_eq!(profile.total_rows(), out.relation.len() as u64);
+        assert_eq!(profile.first_dispatch, Some(Duration::ZERO));
+        // Lifecycle marks taken on the submit path still tick.
+        assert!(profile.reassembled.is_some());
+        let counters = service.counters();
+        assert_eq!(counters.submitted, 1, "accounting is not gated by obs");
+        assert_eq!(counters.completed, 1);
+    }
+
+    /// Scheduler decisions land in the global trace ring when the level
+    /// is raised — filtered by this test's own query ids, because the
+    /// ring is process-wide and other tests run concurrently.
+    #[test]
+    fn trace_ring_records_scheduler_decisions() {
+        let ring = trace();
+        let saved = ring.level();
+        ring.set_level(TraceLevel::Summary);
+
+        let service = Service::new(ServiceConfig::with_workers(1).with_queue_depth(1));
+        let (_, heavy, x) = heavy_blocker(31);
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let first = service.submit_with_cover(&heavy, Some(&x), &cfg).unwrap();
+        let first_id = first.profile().query_id;
+        // Overload: the second submission sheds.
+        let shed = service.submit_with_cover(&heavy, Some(&x), &cfg);
+        assert!(matches!(shed, Err(SubmitError::Overloaded { .. })));
+        first.wait().unwrap();
+
+        let events = ring.drain();
+        ring.set_level(saved);
+        let admitted = events.iter().any(
+            |e| matches!(e, TraceEvent::Admit { query, tasks } if *query == first_id && *tasks > 0),
+        );
+        let finished = events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Finish { query } if *query == first_id));
+        let shed_seen = events.iter().any(|e| matches!(e, TraceEvent::Shed { .. }));
+        assert!(admitted, "Admit traced: {events:?}");
+        assert!(finished, "Finish traced: {events:?}");
+        assert!(shed_seen, "Shed traced: {events:?}");
+    }
+
+    /// The global registry mirrors the service counters (as deltas — the
+    /// registry is process-wide and shared with other tests).
+    #[test]
+    fn global_registry_mirrors_service_activity() {
+        let m = ServiceMetrics::get();
+        let submitted_before = m.submitted.get();
+        let completed_before = m.completed.get();
+        let latency_before = m.query_latency_us.snapshot().count;
+
+        let service = Service::new(ServiceConfig::with_workers(2));
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&triangle()).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        for _ in 0..3 {
+            service.submit(&prepared, &cfg).unwrap().wait().unwrap();
+        }
+
+        assert!(m.submitted.get() >= submitted_before + 3);
+        assert!(m.completed.get() >= completed_before + 3);
+        assert!(m.query_latency_us.snapshot().count >= latency_before + 3);
+        let text = wcoj_obs::global().render_prometheus();
+        assert!(text.contains("wcoj_service_submitted_total"));
+        assert!(text.contains("wcoj_query_latency_us_bucket"));
+        wcoj_obs::check_exposition(&text).expect("exposition format is valid");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`baselines`] | hash/sort-merge/nested-loop joins, binary plans, a System-R-style optimizer |
 //! | [`datagen`] | every instance family the paper's claims use |
 //! | [`query`] | a Datalog-style text front-end and CSV loader |
+//! | [`obs`] (`wcoj-obs`) | std-only observability: the process-wide metrics registry with Prometheus exposition, per-query profiles' histogram/percentile machinery, and the `WCOJ_TRACE` scheduler event ring |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use wcoj_datagen as datagen;
 pub use wcoj_exec as exec;
 pub use wcoj_hypergraph as hypergraph;
 pub use wcoj_lp as lp;
+pub use wcoj_obs as obs;
 pub use wcoj_query as query;
 pub use wcoj_rational as rational;
 pub use wcoj_service as service;
@@ -48,7 +50,10 @@ pub use wcoj_storage as storage;
 
 pub use wcoj_core::{agm_cover, Algorithm, JoinOutput, JoinQuery, JoinStats};
 pub use wcoj_exec::{par_join, ExecConfig, ShardSplit};
-pub use wcoj_service::{QueryHandle, Service, ServiceConfig, ServiceCounters, SubmitError};
+pub use wcoj_obs::{TraceEvent, TraceLevel};
+pub use wcoj_service::{
+    QueryHandle, QueryProfile, Service, ServiceConfig, ServiceCounters, ShardProfile, SubmitError,
+};
 
 /// Computes the natural join of `relations` with automatic algorithm
 /// selection (see [`wcoj_core::join`]). The facade wrapper additionally
@@ -81,8 +86,10 @@ pub fn join_with(
 pub mod prelude {
     pub use crate::core::{agm_cover, Algorithm, JoinQuery};
     pub use crate::exec::{par_join, ExecConfig, ShardSplit};
-    pub use crate::query::{execute, load_csv, parse_query, Catalog};
-    pub use crate::service::{QueryHandle, Service, ServiceConfig, ServiceCounters, SubmitError};
+    pub use crate::query::{execute, execute_profiled, load_csv, parse_query, Catalog};
+    pub use crate::service::{
+        QueryHandle, QueryProfile, Service, ServiceConfig, ServiceCounters, SubmitError,
+    };
     pub use crate::storage::{Attr, Datum, Dictionary, Relation, Schema, Value};
     pub use crate::{join, join_with};
 }

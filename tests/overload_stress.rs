@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use wcoj::core::nprr::PreparedQuery;
+use wcoj::core::JoinStats;
 use wcoj::datagen as gen;
 use wcoj::prelude::*;
 use wcoj::{join_with, Algorithm, SubmitError};
@@ -41,6 +42,53 @@ fn assert_bit_identical(got: &Relation, want: &Relation, ctx: &str) {
         assert_eq!(g, w, "{ctx}: row {i} (order matters)");
     }
     assert_eq!(got, want, "{ctx}");
+}
+
+/// Accepted-under-overload queries still carry complete, internally
+/// consistent profiles: every shard reported, nothing skipped, phase
+/// timestamps monotone, and per-shard rows/stats summing exactly to the
+/// final output — admission pressure must not corrupt observability.
+fn assert_profile_consistent(
+    profile: &wcoj::service::QueryProfile,
+    out: &wcoj::core::JoinOutput,
+    ctx: &str,
+) {
+    assert!(!profile.cancelled, "{ctx}: not cancelled");
+    assert!(profile.is_complete(), "{ctx}: every shard reported");
+    for (slot, shard) in profile.shards.iter().enumerate() {
+        assert_eq!(shard.slot, slot, "{ctx}: slot order");
+        assert!(!shard.skipped, "{ctx}: nothing skipped");
+    }
+    assert_eq!(
+        profile.total_rows(),
+        out.relation.len() as u64,
+        "{ctx}: per-shard rows sum to the output"
+    );
+    let mut stats = JoinStats::default();
+    for shard in &profile.shards {
+        stats.absorb(&shard.stats);
+    }
+    assert_eq!(
+        stats.case_a + stats.case_b,
+        out.stats.case_a + out.stats.case_b,
+        "{ctx}: per-shard stats absorb to the total"
+    );
+    if profile.total_shards > 0 {
+        let planned = profile.planned.unwrap_or_else(|| panic!("{ctx}: planned"));
+        let first = profile
+            .first_dispatch
+            .unwrap_or_else(|| panic!("{ctx}: first_dispatch"));
+        let last = profile
+            .last_finish
+            .unwrap_or_else(|| panic!("{ctx}: last_finish"));
+        let reassembled = profile
+            .reassembled
+            .unwrap_or_else(|| panic!("{ctx}: reassembled"));
+        assert!(
+            profile.admitted <= planned && planned <= first && first <= last && last <= reassembled,
+            "{ctx}: monotone phases: {profile:?}"
+        );
+    }
 }
 
 /// A small mixed workload: name, relations, sequential oracle.
@@ -156,12 +204,10 @@ fn flood_past_queue_bound_sheds_and_stays_correct() {
                         }
                     };
                     accepted_seen.fetch_add(1, Ordering::Relaxed);
-                    let out = handle.wait().expect("accepted query evaluates");
-                    assert_bit_identical(
-                        &out.relation,
-                        &instances[q].2,
-                        &format!("{} by submitter {submitter}", instances[q].0),
-                    );
+                    let (out, profile) = handle.wait_profiled().expect("accepted query evaluates");
+                    let ctx = format!("{} by submitter {submitter}", instances[q].0);
+                    assert_bit_identical(&out.relation, &instances[q].2, &ctx);
+                    assert_profile_consistent(&profile, &out, &ctx);
                 }
             });
         }
@@ -216,16 +262,14 @@ fn blocking_flood_delays_instead_of_shedding() {
             scope.spawn(move || {
                 for j in 0..PER_SUBMITTER {
                     let q = (submitter * PER_SUBMITTER + j) % prepared.len();
-                    let out = service
+                    let (out, profile) = service
                         .submit_blocking(&prepared[q], &cfg)
                         .expect("blocking submit never sheds")
-                        .wait()
+                        .wait_profiled()
                         .expect("query evaluates");
-                    assert_bit_identical(
-                        &out.relation,
-                        &instances[q].2,
-                        &format!("{} blocking submitter {submitter}", instances[q].0),
-                    );
+                    let ctx = format!("{} blocking submitter {submitter}", instances[q].0);
+                    assert_bit_identical(&out.relation, &instances[q].2, &ctx);
+                    assert_profile_consistent(&profile, &out, &ctx);
                 }
             });
         }
@@ -365,12 +409,12 @@ fn cancellation_under_load_frees_the_pool() {
     let kept = kept.into_inner().unwrap();
     assert!(!kept.is_empty());
     for (q, handle) in kept {
-        let out = handle.wait().expect("kept query evaluates");
-        assert_bit_identical(
-            &out.relation,
-            &instances[q].2,
-            &format!("kept {}", instances[q].0),
-        );
+        let (out, profile) = handle.wait_profiled().expect("kept query evaluates");
+        let ctx = format!("kept {}", instances[q].0);
+        assert_bit_identical(&out.relation, &instances[q].2, &ctx);
+        // Cancellations of *other* queries must not leak into the kept
+        // queries' profiles.
+        assert_profile_consistent(&profile, &out, &ctx);
     }
     // Every query (kept or cancelled) eventually drains and releases its
     // admission slot.

@@ -77,6 +77,59 @@ fn assert_bit_identical(got: &Relation, want: &Relation, ctx: &str) {
     assert_eq!(got, want, "{ctx}");
 }
 
+/// The observability contract for a finished, uncancelled query: the
+/// profile covers every scheduled shard in slot order, lifecycle phases
+/// are monotone, per-shard rows sum to the output's cardinality, and
+/// per-shard `JoinStats` absorb to the output's engine totals.
+fn assert_profile_consistent(
+    profile: &wcoj::service::QueryProfile,
+    out: &wcoj::core::JoinOutput,
+    ctx: &str,
+) {
+    assert!(!profile.cancelled, "{ctx}: not cancelled");
+    assert!(profile.is_complete(), "{ctx}: every shard reported");
+    assert_eq!(profile.shards.len(), profile.total_shards, "{ctx}");
+    for (slot, shard) in profile.shards.iter().enumerate() {
+        assert_eq!(shard.slot, slot, "{ctx}: slot order");
+        assert!(!shard.skipped, "{ctx}: nothing skipped");
+    }
+    assert_eq!(
+        profile.total_rows(),
+        out.relation.len() as u64,
+        "{ctx}: per-shard rows sum to the output"
+    );
+    let mut stats = JoinStats::default();
+    for shard in &profile.shards {
+        stats.absorb(&shard.stats);
+    }
+    assert_eq!(stats.shards, out.stats.shards, "{ctx}: shard count");
+    assert_eq!(
+        stats.case_a + stats.case_b,
+        out.stats.case_a + out.stats.case_b,
+        "{ctx}: per-shard stats absorb to the total"
+    );
+    assert_eq!(
+        stats.intermediate_tuples, out.stats.intermediate_tuples,
+        "{ctx}: intermediate tuples"
+    );
+    if profile.total_shards > 0 {
+        let planned = profile.planned.unwrap_or_else(|| panic!("{ctx}: planned"));
+        let first = profile
+            .first_dispatch
+            .unwrap_or_else(|| panic!("{ctx}: first_dispatch"));
+        let last = profile
+            .last_finish
+            .unwrap_or_else(|| panic!("{ctx}: last_finish"));
+        let reassembled = profile
+            .reassembled
+            .unwrap_or_else(|| panic!("{ctx}: reassembled"));
+        assert!(
+            profile.admitted <= planned && planned <= first && first <= last && last <= reassembled,
+            "{ctx}: monotone phases: {profile:?}"
+        );
+    }
+}
+
 /// 32+ queries across all seed families, submitted concurrently from
 /// multiple client threads onto small shared pools, every result
 /// bit-identical to sequential `join_nprr` — repeated over shuffle
@@ -134,12 +187,13 @@ fn stress_concurrent_mixed_queries_match_sequential() {
                             .map(|&q| (q, service.submit(&prepared[q].1, &cfg).expect("submit")))
                             .collect();
                         for (q, handle) in handles {
-                            let out = handle.wait().expect("join");
-                            assert_bit_identical(
-                                &out.relation,
-                                &expected[q],
-                                &format!("{} @ {workers} workers, round {round}", prepared[q].0),
-                            );
+                            let (out, profile) = handle.wait_profiled().expect("join");
+                            let ctx =
+                                format!("{} @ {workers} workers, round {round}", prepared[q].0);
+                            assert_bit_identical(&out.relation, &expected[q], &ctx);
+                            // Profiles stay consistent under full
+                            // concurrency, not just in isolation.
+                            assert_profile_consistent(&profile, &out, &ctx);
                         }
                     });
                 }
@@ -278,12 +332,13 @@ fn check_service_run<S>(
     S: SearchTree + Send + Sync + 'static,
 {
     let prepared = Arc::new(PreparedQuery::<S>::new_indexed(rels).expect("prepare"));
-    let out = service
+    let (out, profile) = service
         .submit(&prepared, cfg)
         .expect("submit")
-        .wait()
+        .wait_profiled()
         .expect("join");
     assert_bit_identical(&out.relation, seq, ctx);
+    assert_profile_consistent(&profile, &out, ctx);
 
     if rels.iter().any(Relation::is_empty) {
         return; // degenerate: resolved at submit, no stats to re-run

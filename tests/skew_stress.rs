@@ -60,6 +60,44 @@ fn assert_bit_identical(got: &Relation, want: &Relation, ctx: &str) {
     assert_eq!(got, want, "{ctx}");
 }
 
+/// The observability contract under skew: even when a hot root value is
+/// split into anchor sub-shards, the profile covers every task, phases
+/// are monotone, and per-shard rows/stats reassemble exactly — the
+/// sub-shards partition the hot key's output, so nothing double-counts.
+fn assert_profile_consistent(
+    profile: &wcoj::service::QueryProfile,
+    out: &wcoj::core::JoinOutput,
+    ctx: &str,
+) {
+    assert!(profile.is_complete(), "{ctx}: every shard reported");
+    assert!(
+        profile.shards.iter().all(|s| !s.skipped),
+        "{ctx}: nothing skipped"
+    );
+    assert_eq!(
+        profile.total_rows(),
+        out.relation.len() as u64,
+        "{ctx}: sub-shard rows sum to the output without double counting"
+    );
+    let mut stats = JoinStats::default();
+    for shard in &profile.shards {
+        stats.absorb(&shard.stats);
+    }
+    assert_eq!(stats.shards, out.stats.shards, "{ctx}: shard count");
+    assert_eq!(stats.case_a, out.stats.case_a, "{ctx}: case_a");
+    assert_eq!(stats.case_b, out.stats.case_b, "{ctx}: case_b");
+    if profile.total_shards > 0 {
+        let planned = profile.planned.expect("planned");
+        let first = profile.first_dispatch.expect("first_dispatch");
+        let last = profile.last_finish.expect("last_finish");
+        let reassembled = profile.reassembled.expect("reassembled");
+        assert!(
+            profile.admitted <= planned && planned <= first && first <= last && last <= reassembled,
+            "{ctx}: monotone phases: {profile:?}"
+        );
+    }
+}
+
 /// Field-by-field `JoinStats` equality (`JoinStats` has no `PartialEq`;
 /// the explicit fields document exactly what must be deterministic).
 fn assert_stats_identical(got: &JoinStats, want: &JoinStats, ctx: &str) {
@@ -213,12 +251,19 @@ fn single_hot_key_produces_multi_task_plan_service() {
                 >= 2,
             "sub-shard tasks on the injector @ {workers} workers"
         );
-        let out = service
+        let (out, profile) = service
             .submit(&prepared, &cfg)
             .expect("submit")
-            .wait()
+            .wait_profiled()
             .expect("join");
         assert_bit_identical(&out.relation, &seq, &format!("service @ {workers} workers"));
+        // One task per layout entry, including the anchor sub-shards.
+        assert_eq!(
+            profile.total_shards,
+            layout.len(),
+            "profile covers the whole layout @ {workers} workers"
+        );
+        assert_profile_consistent(&profile, &out, &format!("service @ {workers} workers"));
 
         // absorbed stats equal a shard-by-shard sequential re-run of the
         // exact layout the pool interleaved
@@ -306,11 +351,9 @@ proptest! {
             heavy_split_factor: factor,
             ..service.exec_config()
         };
-        let out = service.submit(&prepared, &cfg).unwrap().wait().unwrap();
-        assert_bit_identical(
-            &out.relation,
-            &seq,
-            &format!("seed {seed}, {workers} workers, factor {factor}"),
-        );
+        let (out, profile) = service.submit(&prepared, &cfg).unwrap().wait_profiled().unwrap();
+        let ctx = format!("seed {seed}, {workers} workers, factor {factor}");
+        assert_bit_identical(&out.relation, &seq, &ctx);
+        assert_profile_consistent(&profile, &out, &ctx);
     }
 }
