@@ -1,8 +1,9 @@
-//! Ablation: sorted counted trie vs hash-trie realisation of the paper's
-//! search tree (§5.1 offers both as interchangeable).
+//! Ablation: sorted counted trie vs hash-trie vs flat columnar
+//! realisation of the paper's search tree (§5.1 offers them as
+//! interchangeable).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wcoj_core::nprr::{join_nprr, join_nprr_hash};
+use wcoj_core::nprr::{join_nprr, join_nprr_flat, join_nprr_hash};
 use wcoj_core::JoinQuery;
 
 fn bench(c: &mut Criterion) {
@@ -27,6 +28,14 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("hash_trie", rows), &(), |b, ()| {
             b.iter(|| {
                 join_nprr_hash(&q, &sol.x, sol.log2_bound)
+                    .unwrap()
+                    .relation
+                    .len()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("flat_trie", rows), &(), |b, ()| {
+            b.iter(|| {
+                join_nprr_flat(&q, &sol.x, sol.log2_bound)
                     .unwrap()
                     .relation
                     .len()

@@ -18,10 +18,11 @@ pub use table::{time_secs, Table};
 /// pool query service's concurrent throughput, E18 intra-value
 /// parallelism on a single-hot-key workload, E19 service admission
 /// control (shed counts + wait-latency percentiles under a flood), E20
-/// per-query execution profiles and the scheduler trace ring.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+/// per-query execution profiles and the scheduler trace ring, E21 the
+/// prepared-plan cache's repeat-query submission cost drop.
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// Runs one experiment by id. `quick` shrinks the sweeps for CI-speed runs.
@@ -51,6 +52,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e18" => experiments::e18_heavy_key_scaling(quick),
         "e19" => experiments::e19_overload_shedding(quick),
         "e20" => experiments::e20_obs_profiles(quick),
+        "e21" => experiments::e21_plan_cache(quick),
         other => panic!("unknown experiment id {other}"),
     }
 }

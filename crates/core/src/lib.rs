@@ -39,6 +39,7 @@ pub mod naive;
 pub mod nprr;
 pub mod query;
 pub mod relaxed;
+mod scratch;
 
 pub use query::{JoinQuery, QueryError};
 

@@ -20,12 +20,13 @@ pub mod total_order;
 pub use prepared::PreparedQuery;
 
 use crate::query::{JoinQuery, QueryError};
+use crate::scratch::with_value_buf;
 use crate::{JoinOutput, JoinStats};
 use qptree::{build_qp_tree, QpNode};
 use total_order::{positions, total_order};
 use wcoj_storage::index::SearchTree;
 use wcoj_storage::ops::reorder;
-use wcoj_storage::{Attr, HashTrieIndex, Relation, Schema, TrieIndex, Value};
+use wcoj_storage::{Attr, FlatIndex, HashTrieIndex, Relation, Schema, TrieIndex, Value};
 
 /// Evaluates `q` with the NPRR algorithm under fractional cover `x`
 /// (`log2_bound` is the corresponding AGM bound, reported in stats).
@@ -45,6 +46,18 @@ pub fn join_nprr(q: &JoinQuery, x: &[f64], log2_bound: f64) -> Result<JoinOutput
 /// Same as [`join_nprr`].
 pub fn join_nprr_hash(q: &JoinQuery, x: &[f64], log2_bound: f64) -> Result<JoinOutput, QueryError> {
     join_nprr_indexed::<HashTrieIndex>(q, x, log2_bound)
+}
+
+/// Like [`join_nprr`] but with the flat columnar indexes
+/// ([`FlatIndex`]): contiguous per-level value arrays with galloping
+/// lookups instead of node pointers. Bit-identical output (the release
+/// stress suites gate this); different constant factors — see the
+/// `ablation_index` bench's third column.
+///
+/// # Errors
+/// Same as [`join_nprr`].
+pub fn join_nprr_flat(q: &JoinQuery, x: &[f64], log2_bound: f64) -> Result<JoinOutput, QueryError> {
+    join_nprr_indexed::<FlatIndex>(q, x, log2_bound)
 }
 
 /// The NPRR pipeline, generic over the [`SearchTree`] realisation.
@@ -222,7 +235,16 @@ fn for_each_extension_filtered<S: SearchTree>(
         return;
     }
     debug_assert!(extra >= 1);
-    let children = trie.child_values(node);
+    // Borrow the backend's contiguous child slice when it has one; only
+    // copy the level out for backends without a flat layout.
+    let children_owned;
+    let children: &[Value] = match trie.child_slice(node) {
+        Some(s) => s,
+        None => {
+            children_owned = trie.child_values(node);
+            &children_owned
+        }
+    };
     let (lo0, hi0) = level0.unwrap_or((Value(u64::MIN), Value(u64::MAX)));
     let lo = children.partition_point(|&v| v < lo0);
     let hi = children.partition_point(|&v| v <= hi0);
@@ -239,7 +261,14 @@ fn for_each_extension_filtered<S: SearchTree>(
                 f(&buf);
             }),
             Some((lo1, hi1)) => {
-                let grand = trie.child_values(child);
+                let grand_owned;
+                let grand: &[Value] = match trie.child_slice(child) {
+                    Some(s) => s,
+                    None => {
+                        grand_owned = trie.child_values(child);
+                        &grand_owned
+                    }
+                };
                 let l1 = grand.partition_point(|&w| w < lo1);
                 let h1 = grand.partition_point(|&w| w <= hi1);
                 for &w in &grand[l1..h1] {
@@ -461,42 +490,50 @@ impl<S: SearchTree> Engine<'_, S> {
                 self.stats.case_b += 1;
                 // lines 27–29: scan the anchor's section, probe the others.
                 if let Some(anchor_node) = anchor {
-                    let trie_ek = &self.tries[ek];
+                    // `tries` is `&'a [S]`: copying the field out lets the
+                    // enumeration borrow a trie while the probe loop below
+                    // still takes `&mut self` for the bindings.
+                    let tries = self.tries;
+                    let trie_ek = &tries[ek];
                     // Partition-parallel runs: when this scan binds the
                     // first (second) attribute of the total order, descend
                     // only the shard's root (anchor) range.
                     let (f0, f1) = self.scan_filters(wm_start, wminus.get(1).map(|&v| self.pos[v]));
-                    let mut wm_rows: Vec<Vec<Value>> = Vec::new();
-                    for_each_extension_filtered(trie_ek, anchor_node, wminus.len(), f0, f1, |t| {
-                        wm_rows.push(t.to_vec());
-                    });
-                    for t_wm in wm_rows {
-                        // bind t_{W⁻}
-                        for (&v, &val) in wminus.iter().zip(&t_wm) {
-                            self.bindings[v] = Some(val);
-                        }
-                        let ok =
-                            check_edges
-                                .iter()
-                                .all(|(i, part)| match self.section(*i, wm_start) {
+                    // Scan rows share arity |W⁻|: materialise them
+                    // back-to-back in one pooled flat buffer instead of a
+                    // fresh Vec<Vec<_>> per (lrow, scan).
+                    let arity = wminus.len();
+                    with_value_buf(|wm_buf| {
+                        for_each_extension_filtered(trie_ek, anchor_node, arity, f0, f1, |t| {
+                            wm_buf.extend_from_slice(t);
+                        });
+                        for t_wm in wm_buf.chunks_exact(arity) {
+                            // bind t_{W⁻}
+                            for (&v, &val) in wminus.iter().zip(t_wm) {
+                                self.bindings[v] = Some(val);
+                            }
+                            let ok = check_edges.iter().all(|(i, part)| {
+                                match self.section(*i, wm_start) {
                                     None => false,
                                     Some(node) => {
                                         let vals: Vec<Value> = part
                                             .iter()
                                             .map(|&v| self.bindings[v].expect("W⁻ bound"))
                                             .collect();
-                                        self.tries[*i].descend_tuple(node, &vals).is_some()
+                                        tries[*i].descend_tuple(node, &vals).is_some()
                                     }
-                                });
-                        for &v in &wminus {
-                            self.bindings[v] = None;
+                                }
+                            });
+                            for &v in &wminus {
+                                self.bindings[v] = None;
+                            }
+                            if ok {
+                                let mut row = lrow.clone();
+                                row.extend_from_slice(t_wm);
+                                ret.push(row);
+                            }
                         }
-                        if ok {
-                            let mut row = lrow.clone();
-                            row.extend_from_slice(&t_wm);
-                            ret.push(row);
-                        }
-                    }
+                    });
                 }
             }
 
@@ -559,24 +596,29 @@ impl<S: SearchTree> Engine<'_, S> {
         }
 
         let mut out = Vec::new();
-        let trie_j = &self.tries[j];
+        let tries = self.tries;
+        let trie_j = &tries[j];
         // Partition-parallel runs: when this leaf binds the first (second)
         // attribute of the total order, descend only the shard's root
         // (anchor) range.
         let (f0, f1) = self.scan_filters(u_start, univ.get(1).map(|&v| self.pos[v]));
-        let mut candidates: Vec<Vec<Value>> = Vec::new();
-        for_each_extension_filtered(trie_j, j_node, univ.len(), f0, f1, |t| {
-            candidates.push(t.to_vec());
-        });
-        self.stats.intermediate_tuples += candidates.len() as u64;
-        for cand in candidates {
-            let ok = others
-                .iter()
-                .all(|&(i, node)| self.tries[i].descend_tuple(node, &cand).is_some());
-            if ok {
-                out.push(cand);
+        // Candidates share arity |univ|: one pooled flat buffer, probed
+        // with chunks_exact; only surviving rows are materialised.
+        let arity = univ.len();
+        with_value_buf(|cand_buf| {
+            for_each_extension_filtered(trie_j, j_node, arity, f0, f1, |t| {
+                cand_buf.extend_from_slice(t);
+            });
+            self.stats.intermediate_tuples += (cand_buf.len() / arity) as u64;
+            for cand in cand_buf.chunks_exact(arity) {
+                let ok = others
+                    .iter()
+                    .all(|&(i, node)| tries[i].descend_tuple(node, cand).is_some());
+                if ok {
+                    out.push(cand.to_vec());
+                }
             }
-        }
+        });
         out
     }
 }

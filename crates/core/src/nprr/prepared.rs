@@ -18,29 +18,33 @@ use super::total_order::{positions, total_order};
 use super::{assemble_output, Engine, RootShard};
 use crate::query::{JoinQuery, QueryError};
 use crate::{JoinOutput, JoinStats};
+use std::sync::OnceLock;
 use wcoj_hypergraph::cover::validate_cover;
-use wcoj_storage::{Attr, Relation, SearchTree, TrieIndex, Value};
+use wcoj_storage::{gallop, Attr, Relation, SearchTree, TrieIndex, Value};
 
-/// Merge-intersects two sorted value lists.
+/// Intersects two sorted value lists (galloping/adaptive; differential
+/// proptests in `wcoj-storage` pin it to the naive two-pointer merge).
 fn intersect_sorted(a: &[Value], b: &[Value]) -> Vec<Value> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
+    gallop::intersect(a, b)
+}
+
+/// Runs `f` on `node`'s branch labels, borrowing the backend's contiguous
+/// slice when it has one and copying only as a fallback.
+fn with_child_slice<S: SearchTree, R>(trie: &S, node: S::Node, f: impl FnOnce(&[Value]) -> R) -> R {
+    match trie.child_slice(node) {
+        Some(s) => f(s),
+        None => f(&trie.child_values(node)),
     }
-    out
 }
 
 /// A query prepared for repeated NPRR evaluation: the plan tree, the total
 /// order, and all search trees, built once.
+///
+/// Two data-dependent planning products are memoized on first use (the
+/// indexes are immutable, so both are fixed at construction): the optimal
+/// fractional cover (an LP solve) and the root candidate weights (a full
+/// level-0 sweep) — with these cached, a stored `PreparedQuery` makes
+/// repeat submissions pay only the `O(mn·∏N^x)` evaluation itself.
 pub struct PreparedQuery<S: SearchTree = TrieIndex> {
     q: JoinQuery,
     root: Option<Box<QpNode>>,
@@ -48,6 +52,12 @@ pub struct PreparedQuery<S: SearchTree = TrieIndex> {
     pos: Vec<usize>,
     tries: Vec<S>,
     edge_vertices: Vec<Vec<usize>>,
+    /// Memoized LP optimum: `(x, log2_bound)` of [`Self::resolve_cover`]
+    /// with no user cover.
+    opt_cover: OnceLock<(Vec<f64>, f64)>,
+    /// Memoized [`Self::root_candidate_weights`] (the shard planner's
+    /// per-submission input).
+    root_weights: OnceLock<Vec<(Value, u64)>>,
 }
 
 impl PreparedQuery<TrieIndex> {
@@ -104,6 +114,8 @@ impl<S: SearchTree> PreparedQuery<S> {
             pos,
             tries,
             edge_vertices,
+            opt_cover: OnceLock::new(),
+            root_weights: OnceLock::new(),
         })
     }
 
@@ -135,9 +147,15 @@ impl<S: SearchTree> PreparedQuery<S> {
                 ))
             }
             None => {
+                // Memoized: the LP optimum is a pure function of the
+                // (immutable) query, so solve it at most once.
+                if let Some(cached) = self.opt_cover.get() {
+                    return Ok(cached.clone());
+                }
                 let sol = self.q.optimal_cover()?;
-                let b = sol.log2_bound;
-                Ok((sol.x, b))
+                let pair = (sol.x, sol.log2_bound);
+                let _ = self.opt_cover.set(pair.clone());
+                Ok(pair)
             }
         }
     }
@@ -159,11 +177,12 @@ impl<S: SearchTree> PreparedQuery<S> {
             if vs.first() != Some(&root_vertex) {
                 continue; // relation does not contain the root attribute
             }
-            let level0 = self.tries[e].child_values(self.tries[e].root());
-            acc = Some(match acc {
-                None => level0,
-                Some(prev) => intersect_sorted(&prev, &level0),
-            });
+            let trie = &self.tries[e];
+            let prev = acc.take();
+            acc = Some(with_child_slice(trie, trie.root(), |level0| match prev {
+                None => level0.to_vec(),
+                Some(prev) => intersect_sorted(&prev, level0),
+            }));
         }
         acc.unwrap_or_default()
     }
@@ -189,20 +208,21 @@ impl<S: SearchTree> PreparedQuery<S> {
         let mut acc: Option<Vec<Value>> = None;
         for (e, vs) in self.edge_vertices.iter().enumerate() {
             let trie = &self.tries[e];
-            let slice = if vs.first() == Some(&anchor_vertex) {
-                trie.child_values(trie.root())
+            let node = if vs.first() == Some(&anchor_vertex) {
+                trie.root()
             } else if vs.first() == Some(&root_vertex) && vs.get(1) == Some(&anchor_vertex) {
                 match trie.descend(trie.root(), root) {
-                    Some(n) => trie.child_values(n),
-                    None => Vec::new(), // root value absent: empty section
+                    Some(n) => n,
+                    None => return Vec::new(), // root value absent: empty section
                 }
             } else {
                 continue; // relation does not constrain the anchor level
             };
-            acc = Some(match acc {
-                None => slice,
-                Some(prev) => intersect_sorted(&prev, &slice),
-            });
+            let prev = acc.take();
+            acc = Some(with_child_slice(trie, node, |slice| match prev {
+                None => slice.to_vec(),
+                Some(prev) => intersect_sorted(&prev, slice),
+            }));
         }
         acc.unwrap_or_default()
     }
@@ -254,6 +274,16 @@ impl<S: SearchTree> PreparedQuery<S> {
                 (v, fanout.saturating_add(1))
             })
             .collect()
+    }
+
+    /// [`Self::root_candidate_weights`], computed at most once per
+    /// preparation and borrowed thereafter. The indexes never change after
+    /// construction, so the weights can't go stale; the shard planner
+    /// reads these on every submission of a cached prepared query.
+    #[must_use]
+    pub fn cached_root_weights(&self) -> &[(Value, u64)] {
+        self.root_weights
+            .get_or_init(|| self.root_candidate_weights())
     }
 
     /// Runs `Recursive-Join` restricted to `shard` (or unrestricted for
@@ -349,7 +379,7 @@ mod tests {
     use super::*;
     use crate::{join_with, naive, Algorithm};
     use wcoj_storage::ops::reorder;
-    use wcoj_storage::{HashTrieIndex, Schema, Value};
+    use wcoj_storage::{FlatIndex, HashTrieIndex, Schema, Value};
 
     fn random_rel(seed: u64, attrs: &[u32], n: usize, dom: u64) -> Relation {
         use rand::{Rng, SeedableRng};
@@ -383,10 +413,14 @@ mod tests {
         ];
         let sorted = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
         let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).unwrap();
+        let flat = PreparedQuery::<FlatIndex>::new_indexed(&rels).unwrap();
         let a = sorted.evaluate(None).unwrap();
         let b = hashed.evaluate(None).unwrap();
+        let c = flat.evaluate(None).unwrap();
         assert_eq!(a.relation, b.relation);
+        assert_eq!(a.relation, c.relation);
         assert_eq!(sorted.root_candidates(), hashed.root_candidates());
+        assert_eq!(sorted.root_candidates(), flat.root_candidates());
     }
 
     #[test]
@@ -472,17 +506,71 @@ mod tests {
         // v=2: 4 extensions in R (reordered trie: 2 → {10,11,12,13}) plus
         // 2 in S; v=3: 1 in R plus 1 in S. Weight = 1 + fanout.
         assert_eq!(weights, vec![(Value(2), 7), (Value(3), 3)]);
-        // Hash backend agrees.
-        let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&[
+        // Hash and flat backends agree (the flat backend computes fanouts
+        // by offset-range arithmetic instead of node child counts; if the
+        // weights diverged, so would shard plans and task budgets).
+        let rels = [
             Relation::from_u32_rows(
                 Schema::of(&[0, 1]),
                 &[&[10, 2], &[11, 2], &[12, 2], &[13, 2], &[10, 3]],
             ),
             Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 7], &[2, 8], &[3, 7]]),
             Relation::from_u32_rows(Schema::of(&[0, 2]), &[&[10, 7]]),
-        ])
-        .unwrap();
+        ];
+        let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).unwrap();
         assert_eq!(hashed.root_candidate_weights(), weights);
+        let flat = PreparedQuery::<FlatIndex>::new_indexed(&rels).unwrap();
+        assert_eq!(flat.root_candidate_weights(), weights);
+        // the memoized view is identical and stable across calls
+        assert_eq!(flat.cached_root_weights(), weights.as_slice());
+        assert_eq!(flat.cached_root_weights(), weights.as_slice());
+    }
+
+    #[test]
+    fn root_candidate_weights_differential_across_backends() {
+        // Random instances: Work-split weights must be identical across
+        // all three backends, or shard plans silently diverge.
+        for seed in 0..8u64 {
+            let rels = [
+                random_rel(seed * 3 + 100, &[0, 1], 70, 9),
+                random_rel(seed * 3 + 101, &[1, 2], 70, 9),
+                random_rel(seed * 3 + 102, &[0, 2], 70, 9),
+            ];
+            let sorted = PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap();
+            let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).unwrap();
+            let flat = PreparedQuery::<FlatIndex>::new_indexed(&rels).unwrap();
+            let want = sorted.root_candidate_weights();
+            assert_eq!(hashed.root_candidate_weights(), want, "seed {seed}");
+            assert_eq!(flat.root_candidate_weights(), want, "seed {seed}");
+            assert_eq!(flat.cached_root_weights(), want.as_slice(), "seed {seed}");
+            // anchor candidates agree for every root candidate too
+            for &(v, _) in &want {
+                assert_eq!(
+                    flat.anchor_candidates(v),
+                    sorted.anchor_candidates(v),
+                    "seed {seed}, root {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_cover_memoizes_the_lp_optimum() {
+        let rels = [
+            random_rel(30, &[0, 1], 40, 6),
+            random_rel(31, &[1, 2], 40, 6),
+            random_rel(32, &[0, 2], 40, 6),
+        ];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        let (x1, b1) = prepared.resolve_cover(None).unwrap();
+        let (x2, b2) = prepared.resolve_cover(None).unwrap();
+        assert_eq!(x1, x2);
+        assert!((b1 - b2).abs() < 1e-12);
+        // a user-supplied cover bypasses (and does not disturb) the memo
+        let (xu, _) = prepared.resolve_cover(Some(&[1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(xu, vec![1.0, 1.0, 1.0]);
+        let (x3, _) = prepared.resolve_cover(None).unwrap();
+        assert_eq!(x1, x3);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Reusable per-worker scratch buffers for the engine hot path.
+//!
+//! `Recursive-Join`'s case-b anchor scans and leaf intersections each
+//! materialise a candidate row set before probing the other relations
+//! (the probe loop mutates `Engine::bindings`, so it cannot run inside
+//! the enumeration visitor). Allocating a fresh vector per scan — tens of
+//! thousands of times per shard task — shows up directly on the service's
+//! submission latency. This module keeps a small thread-local free list
+//! of flat `Vec<Value>` buffers instead: rows of one scan all share an
+//! arity, so a scan borrows one flat buffer, appends rows back-to-back,
+//! and walks them with `chunks_exact`. Long-lived service workers reach
+//! steady state after their first task and stop allocating here entirely.
+//!
+//! Acquisition nests (case-a recursion can reach another scan while an
+//! outer scan's buffer is live); the free list makes that safe — each
+//! nesting level just pops (or creates) its own buffer and returns it on
+//! the way out.
+
+use std::cell::RefCell;
+use wcoj_storage::Value;
+
+/// Free-list depth: deeper nestings than this simply allocate, and
+/// anything popped beyond the cap is dropped instead of retained.
+const MAX_POOLED: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<Value>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with an empty value buffer drawn from the thread-local pool,
+/// returning the buffer (cleared, capacity retained) afterwards.
+pub(crate) fn with_value_buf<R>(f: impl FnOnce(&mut Vec<Value>) -> R) -> R {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    debug_assert!(buf.is_empty());
+    let out = f(&mut buf);
+    buf.clear();
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused_and_returned_empty() {
+        let cap = with_value_buf(|b| {
+            b.extend((0..100).map(Value));
+            assert_eq!(b.len(), 100);
+            b.capacity()
+        });
+        // Same thread: the next acquisition sees the retained capacity,
+        // and starts empty.
+        with_value_buf(|b| {
+            assert!(b.is_empty());
+            assert!(b.capacity() >= cap.min(100));
+        });
+    }
+
+    #[test]
+    fn nested_acquisitions_get_distinct_buffers() {
+        with_value_buf(|outer| {
+            outer.push(Value(1));
+            with_value_buf(|inner| {
+                assert!(inner.is_empty());
+                inner.push(Value(2));
+                with_value_buf(|third| assert!(third.is_empty()));
+            });
+            assert_eq!(outer.as_slice(), &[Value(1)]);
+        });
+    }
+
+    #[test]
+    fn deep_nesting_beyond_pool_cap_still_works() {
+        fn nest(depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            with_value_buf(|b| {
+                b.push(Value(depth as u64));
+                nest(depth - 1);
+                assert_eq!(b.len(), 1);
+            });
+        }
+        nest(MAX_POOLED * 2 + 3);
+    }
+}

@@ -567,17 +567,19 @@ impl ShardPlan {
                 (plan_shards(&cands, max_shards, min_size), cands.len())
             }
             ShardSplit::Work => {
-                let weights = prepared.root_candidate_weights();
+                // Memoized on the preparation: repeat submissions of a
+                // cached PreparedQuery skip the level-0 weight sweep.
+                let weights = prepared.cached_root_weights();
                 let shards = if cfg.heavy_split_factor >= 2 && prepared.total_order().len() >= 2 {
                     plan_weighted_shards_split(
-                        &weights,
+                        weights,
                         max_shards,
                         min_size,
                         cfg.heavy_split_factor,
                         |v| prepared.anchor_candidates(v),
                     )
                 } else {
-                    plan_weighted_shards(&weights, max_shards, min_size)
+                    plan_weighted_shards(weights, max_shards, min_size)
                 };
                 (shards, weights.len())
             }

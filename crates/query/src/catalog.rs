@@ -1,5 +1,6 @@
 //! Named relations plus the shared value dictionary.
 
+use crate::plan_cache::{next_generation, PlanCache};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wcoj_exec::ExecConfig;
@@ -11,12 +12,21 @@ use wcoj_storage::{Datum, Dictionary, Relation};
 /// configuration (sequential by default; opt in to the partition-parallel
 /// engine with [`Catalog::set_parallel`], or route every query through a
 /// process-wide shared worker pool with [`Catalog::set_service`]).
+///
+/// Catalog queries run through a shared [`PlanCache`]: the prepared query
+/// (cover LP, total order, flat indexes) is built once per query shape
+/// over the current relation contents and reused across submissions.
+/// Every [`Catalog::insert`] stamps the relation with a globally unique
+/// *generation* that is part of each cache key, so replacing a relation
+/// invalidates every cached plan that mentioned it — a cached
+/// `PreparedQuery` over stale data can never be served.
 #[derive(Clone)]
 pub struct Catalog {
     dict: Arc<Dictionary>,
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, (Relation, u64)>,
     parallel: Option<ExecConfig>,
     service: Option<Arc<Service>>,
+    plan_cache: PlanCache,
 }
 
 impl Default for Catalog {
@@ -34,6 +44,7 @@ impl Catalog {
             relations: BTreeMap::new(),
             parallel: None,
             service: None,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -71,15 +82,38 @@ impl Catalog {
         &self.dict
     }
 
-    /// Registers (or replaces) a relation under `name`.
+    /// Registers (or replaces) a relation under `name`. Every insert —
+    /// including a replace — stamps the relation with a fresh globally
+    /// unique generation, invalidating any cached plan built over the
+    /// previous contents (the stale plan's key can never recur).
     pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
-        self.relations.insert(name.into(), rel);
+        self.relations.insert(name.into(), (rel, next_generation()));
     }
 
     /// Looks up a relation.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|(rel, _)| rel)
+    }
+
+    /// The generation stamp of `name`'s current contents (changes on
+    /// every [`Catalog::insert`], even replaces).
+    #[must_use]
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.relations.get(name).map(|&(_, g)| g)
+    }
+
+    /// The prepared-plan cache shared by this catalog and its clones.
+    #[must_use]
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// `(hits, misses)` of the shared plan cache — mirrored into the
+    /// `wcoj-obs` registry as `wcoj_plan_cache_{hits,misses}_total`.
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.plan_cache.stats()
     }
 
     /// Registered names, sorted.

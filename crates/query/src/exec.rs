@@ -2,9 +2,12 @@
 
 use crate::parser::{ParsedQuery, ParsedTerm};
 use crate::{Catalog, QueryTextError};
+use std::fmt::Write as _;
+use std::sync::Arc;
 use wcoj_core::fullcq::{Subgoal, Term};
+use wcoj_core::nprr::PreparedQuery;
 use wcoj_storage::ops::project;
-use wcoj_storage::{Attr, Datum, Relation};
+use wcoj_storage::{Attr, Datum, FlatIndex, Relation};
 
 /// Result of executing a text query.
 #[derive(Debug, Clone)]
@@ -66,6 +69,12 @@ pub fn execute_profiled(
         }
     };
 
+    // Canonical body shape + relation generations: the plan-cache key.
+    // Variables are already normalised (first-occurrence ids), constants
+    // are dictionary-encoded values, and the generation stamp changes on
+    // every Catalog::insert — so equal keys imply an identical join over
+    // identical data, and replaced relations can never serve stale plans.
+    let mut cache_key = String::new();
     let mut subgoals = Vec::with_capacity(q.atoms.len());
     for atom in &q.atoms {
         let rel = catalog
@@ -87,6 +96,24 @@ pub fn execute_profiled(
                 ParsedTerm::Str(s) => Term::Const(catalog.dictionary().encode_str(s)),
             })
             .collect();
+        let generation = catalog
+            .generation(&atom.relation)
+            .expect("relation present: get() succeeded above");
+        let _ = write!(cache_key, "{}@{}(", atom.relation, generation);
+        for (i, t) in terms.iter().enumerate() {
+            if i > 0 {
+                cache_key.push(',');
+            }
+            match t {
+                Term::Var(v) => {
+                    let _ = write!(cache_key, "?{v}");
+                }
+                Term::Const(c) => {
+                    let _ = write!(cache_key, "={}", c.0);
+                }
+            }
+        }
+        cache_key.push_str(");");
         subgoals.push(Subgoal::new(rel.clone(), terms).expect("arity checked above"));
     }
 
@@ -103,30 +130,45 @@ pub fn execute_profiled(
         })
         .collect::<Result<_, _>>()?;
 
-    // §7.3 reduction, then the worst-case-optimal join — scheduled on the
+    // §7.3 reduction + cover LP + flat-index construction happen at most
+    // once per query shape over the current data: the prepared plan is
+    // served from the catalog's shared cache on repeat submissions.
+    let plan = catalog
+        .plan_cache()
+        .get_or_build(&cache_key, || {
+            let reduced = wcoj_core::fullcq::reduce_all(&subgoals)?;
+            Ok(Arc::new(PreparedQuery::<FlatIndex>::new_indexed(&reduced)?))
+        })
+        .map_err(|e| QueryTextError::Eval(e.to_string()))?;
+
+    // The worst-case-optimal join over the cached plan — scheduled on the
     // shared-pool service when one is attached, on the per-call
     // partition-parallel engine when the catalog opted in, sequentially
     // otherwise.
-    let reduced = wcoj_core::fullcq::reduce_all(&subgoals)
-        .map_err(|e| QueryTextError::Eval(e.to_string()))?;
     let mut profile = None;
     let full = if let Some(service) = catalog.service() {
-        let (out, query_profile) = service.join_profiled(&reduced).map_err(|e| match e {
-            // Admission-control shed: surface the typed 429 so the
-            // front end can distinguish "retry later" from a real
-            // evaluation failure (applies to text queries and Datalog
-            // program rules alike — both route through here).
-            wcoj_core::QueryError::Overloaded => QueryTextError::Overloaded,
-            e => QueryTextError::Eval(e.to_string()),
-        })?;
+        let (out, query_profile) = service
+            .submit(&plan, &service.exec_config())
+            .map_err(wcoj_core::QueryError::from)
+            .and_then(wcoj_service::QueryHandle::wait_profiled)
+            .map_err(|e| match e {
+                // Admission-control shed: surface the typed 429 so the
+                // front end can distinguish "retry later" from a real
+                // evaluation failure (applies to text queries and Datalog
+                // program rules alike — both route through here).
+                wcoj_core::QueryError::Overloaded => QueryTextError::Overloaded,
+                e => QueryTextError::Eval(e.to_string()),
+            })?;
         profile = Some(query_profile);
         out.relation
     } else if let Some(cfg) = catalog.parallel() {
-        wcoj_exec::par_join(&reduced, cfg)
+        wcoj_exec::par_join_prepared(&plan, None, cfg)
             .map_err(|e| QueryTextError::Eval(e.to_string()))?
             .relation
     } else {
-        wcoj_core::join(&reduced).map_err(|e| QueryTextError::Eval(e.to_string()))?
+        plan.evaluate(None)
+            .map_err(|e| QueryTextError::Eval(e.to_string()))?
+            .relation
     };
 
     // Project onto the head (identity for full queries).
@@ -364,6 +406,82 @@ mod tests {
         // queue drained: the same query is admitted and evaluates
         let out = execute(&q, &c).unwrap();
         assert_eq!(out.relation.len(), 2);
+    }
+
+    #[test]
+    fn repeated_submissions_hit_the_plan_cache() {
+        let c = catalog_with_triangle();
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let first = execute(&q, &c).unwrap();
+        assert_eq!(c.plan_cache_stats(), (0, 1), "first submission builds");
+        for round in 1..=3 {
+            let again = execute(&q, &c).unwrap();
+            assert_eq!(again.relation, first.relation);
+            assert_eq!(
+                c.plan_cache_stats(),
+                (round, 1),
+                "repeat submissions are served from the cache"
+            );
+        }
+        // Alpha-equivalent shape (renamed variables, different head) maps
+        // to the same canonical key — still a hit, projection differs.
+        let renamed = parse_query("Out(c, a, b) :- R(a, b), S(b, c), T(a, c).").unwrap();
+        let out = execute(&renamed, &c).unwrap();
+        assert_eq!(c.plan_cache_stats(), (4, 1));
+        assert_eq!(out.columns, vec!["c", "a", "b"]);
+        assert_eq!(out.relation.len(), first.relation.len());
+        assert!(out.relation.contains_row(&[Value(4), Value(1), Value(2)]));
+        // A genuinely different shape (constant in place of a variable)
+        // is a new key.
+        let narrowed = parse_query("Ans(y) :- R(1, y)").unwrap();
+        execute(&narrowed, &c).unwrap();
+        assert_eq!(c.plan_cache_stats(), (4, 2));
+    }
+
+    #[test]
+    fn replacing_a_relation_invalidates_cached_plans() {
+        // Satellite bugfix pin: without generation stamps in the cache
+        // key, the second query would be served the plan prepared over
+        // R's *old* rows — a stale read.
+        let mut c = catalog_with_triangle();
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let before = execute(&q, &c).unwrap();
+        assert_eq!(before.relation.len(), 2);
+        assert_eq!(c.plan_cache_stats(), (0, 1));
+
+        // Replace R with a single edge that breaks one of the triangles.
+        c.insert(
+            "R",
+            Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2]]),
+        );
+        let after = execute(&q, &c).unwrap();
+        assert_eq!(
+            after.relation.len(),
+            1,
+            "query reflects the replaced relation, not the cached plan"
+        );
+        assert!(after.relation.contains_row(&[Value(1), Value(2), Value(4)]));
+        assert_eq!(
+            c.plan_cache_stats(),
+            (0, 2),
+            "no stale hits: the replace forced a rebuild"
+        );
+
+        // The new plan is itself cacheable.
+        execute(&q, &c).unwrap();
+        assert_eq!(c.plan_cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn catalog_clones_share_one_plan_cache() {
+        let c = catalog_with_triangle();
+        let clone = c.clone();
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        execute(&q, &c).unwrap();
+        let out = execute(&q, &clone).unwrap();
+        assert_eq!(out.relation.len(), 2);
+        assert_eq!(c.plan_cache_stats(), (1, 1), "clone hit the shared entry");
+        assert_eq!(clone.plan_cache_stats(), (1, 1));
     }
 
     #[test]

@@ -15,6 +15,7 @@ mod catalog;
 mod csv;
 mod exec;
 mod parser;
+mod plan_cache;
 mod program;
 
 #[cfg(test)]
@@ -57,6 +58,7 @@ pub use catalog::Catalog;
 pub use csv::load_csv;
 pub use exec::{execute, execute_profiled, QueryResult};
 pub use parser::{parse_query, ParsedAtom, ParsedQuery, ParsedTerm};
+pub use plan_cache::{CachedPlan, PlanCache};
 pub use program::{parse_program, run_program, Program};
 // Re-export so front-end users can opt catalogs into parallel execution
 // without naming wcoj-exec directly.

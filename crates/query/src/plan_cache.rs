@@ -1,0 +1,291 @@
+//! Prepared-query/plan cache: `PreparedQuery` (cover LP, total order,
+//! indexes, shard-plan inputs) built once per *query shape over current
+//! data* and reused across submissions.
+//!
+//! ## Key
+//!
+//! A cache key is the canonical form of the query body: one segment per
+//! atom, `name@generation(term,…)`, with variables numbered by first
+//! occurrence (so `Ans(a,b) :- E(a,b)` and `Ans(x,y) :- E(x,y)` share an
+//! entry) and constants by their dictionary-encoded value. The head is
+//! *not* part of the key: the cached object is the prepared **join**, and
+//! projection happens after evaluation.
+//!
+//! ## Invalidation
+//!
+//! `generation` is a **process-globally unique** stamp assigned by
+//! [`Catalog::insert`](crate::Catalog::insert) on every insert or
+//! replace — not a per-name bump. Replacing a relation therefore changes
+//! every key that mentions it, so a cached `PreparedQuery` built over the
+//! old data can never be served again (it ages out of the LRU). Global
+//! uniqueness also covers cloned catalogs: two diverged clones can never
+//! reach the same `(name, generation)` pair with different data, which a
+//! per-name counter would allow.
+//!
+//! ## Sharing & metrics
+//!
+//! The cache itself is behind an `Arc`, so catalog clones (the cheap
+//! handle-passing pattern) share one cache and one hit/miss account.
+//! Counts are mirrored into the process-wide `wcoj-obs` registry as
+//! `wcoj_plan_cache_hits_total` / `wcoj_plan_cache_misses_total`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use wcoj_core::nprr::PreparedQuery;
+use wcoj_core::QueryError;
+use wcoj_obs::Counter;
+use wcoj_storage::FlatIndex;
+
+/// Upper bound on cached plans; past it the least-recently-used entry is
+/// evicted (stale generations age out this way too).
+const CAPACITY: usize = 64;
+
+/// Process-wide generation stamps for catalog inserts. Monotone and never
+/// reused, so a `(name, generation)` pair identifies one exact relation
+/// value for the life of the process.
+static GENERATIONS: AtomicU64 = AtomicU64::new(1);
+
+/// Draws the next globally unique relation generation.
+pub(crate) fn next_generation() -> u64 {
+    GENERATIONS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The cached preparations all use the flat columnar backend — the
+/// fastest of the three index layouts on the engine hot path, and
+/// bit-identical to the others (gated by the release stress suites).
+pub type CachedPlan = Arc<PreparedQuery<FlatIndex>>;
+
+struct Mirror {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl Mirror {
+    fn get() -> &'static Mirror {
+        static MIRROR: OnceLock<Mirror> = OnceLock::new();
+        MIRROR.get_or_init(|| {
+            let r = wcoj_obs::global();
+            Mirror {
+                hits: r.counter(
+                    "wcoj_plan_cache_hits_total",
+                    "Catalog queries served from the prepared-plan cache",
+                ),
+                misses: r.counter(
+                    "wcoj_plan_cache_misses_total",
+                    "Catalog queries that built (and cached) a fresh PreparedQuery",
+                ),
+            }
+        })
+    }
+}
+
+struct Inner {
+    entries: HashMap<String, (CachedPlan, u64)>,
+    /// LRU clock: bumped on every touch; the entry with the smallest
+    /// stamp is the eviction victim.
+    tick: u64,
+}
+
+/// A shared LRU of prepared queries, keyed by canonical query shape +
+/// relation generations. Cheap to clone (one `Arc`).
+#[derive(Clone)]
+pub struct PlanCache {
+    inner: Arc<Mutex<Inner>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> PlanCache {
+        PlanCache {
+            inner: Arc::new(Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+            })),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Looks up `key`, building and inserting with `build` on a miss.
+    /// Build errors are returned without caching anything (a failing
+    /// query shape re-attempts on every submission — failures are cheap
+    /// and should not occupy capacity).
+    ///
+    /// # Errors
+    /// Whatever `build` returns.
+    pub fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<CachedPlan, QueryError>,
+    ) -> Result<CachedPlan, QueryError> {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((plan, stamp)) = inner.entries.get_mut(key) {
+                *stamp = tick;
+                let plan = Arc::clone(plan);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Mirror::get().hits.inc();
+                return Ok(plan);
+            }
+        }
+        // Build outside the lock: preparation (LP + index construction)
+        // can be expensive, and concurrent submitters of *different*
+        // shapes shouldn't serialise on it. Two racing submitters of the
+        // same shape may both build; last insert wins, both results are
+        // equivalent.
+        let plan = build()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Mirror::get().misses.inc();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner
+            .entries
+            .insert(key.to_owned(), (Arc::clone(&plan), tick));
+        if inner.entries.len() > CAPACITY {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// `(hits, misses)` accumulated by this cache (shared across catalog
+    /// clones holding the same `Arc`).
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached plans right now.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    /// `true` iff nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcoj_storage::{Relation, Schema};
+
+    fn plan() -> CachedPlan {
+        let rels = [
+            Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2]]),
+            Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 3]]),
+        ];
+        Arc::new(PreparedQuery::<FlatIndex>::new_indexed(&rels).unwrap())
+    }
+
+    #[test]
+    fn hit_after_miss_and_stats() {
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_build("k1", || Ok(plan())).unwrap();
+        assert_eq!(cache.stats(), (0, 1));
+        let b = cache
+            .get_or_build("k1", || panic!("must not rebuild on hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_entries() {
+        let cache = PlanCache::new();
+        cache.get_or_build("k1", || Ok(plan())).unwrap();
+        cache.get_or_build("k2", || Ok(plan())).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = PlanCache::new();
+        let r = cache.get_or_build("bad", || Err(QueryError::Overloaded));
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        // the next attempt re-runs the builder
+        cache.get_or_build("bad", || Ok(plan())).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_beyond_capacity() {
+        let cache = PlanCache::new();
+        for i in 0..=CAPACITY {
+            cache.get_or_build(&format!("k{i}"), || Ok(plan())).unwrap();
+        }
+        assert_eq!(cache.len(), CAPACITY);
+        // k0 was the least recently used → evicted; k1 survived
+        let mut rebuilt = false;
+        cache
+            .get_or_build("k0", || {
+                rebuilt = true;
+                Ok(plan())
+            })
+            .unwrap();
+        assert!(rebuilt, "k0 was evicted");
+        assert_eq!(cache.len(), CAPACITY, "eviction keeps the cache bounded");
+        // Recently used entries survive the churn.
+        let (hits_before, _) = cache.stats();
+        cache
+            .get_or_build(&format!("k{CAPACITY}"), || panic!("still cached"))
+            .unwrap();
+        cache
+            .get_or_build("k0", || panic!("just re-inserted"))
+            .unwrap();
+        assert_eq!(cache.stats().0, hits_before + 2);
+    }
+
+    #[test]
+    fn generations_are_globally_unique() {
+        let a = next_generation();
+        let b = next_generation();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn clones_share_entries_and_stats() {
+        let cache = PlanCache::new();
+        let clone = cache.clone();
+        cache.get_or_build("k", || Ok(plan())).unwrap();
+        clone
+            .get_or_build("k", || panic!("shared with the original"))
+            .unwrap();
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(clone.stats(), (1, 1));
+    }
+}

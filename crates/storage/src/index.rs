@@ -59,6 +59,15 @@ pub trait SearchTree: Sized {
         self.for_each_extension(node, 1, |t| out.push(t[0]));
         out
     }
+
+    /// Branch labels of `node` as a **borrowed** sorted slice, when the
+    /// backend stores them contiguously; `None` means the caller must fall
+    /// back to [`SearchTree::child_values`]. Hot-path scan sites prefer
+    /// this to avoid copying a level out before intersecting it.
+    fn child_slice(&self, node: Self::Node) -> Option<&[Value]> {
+        let _ = node;
+        None
+    }
 }
 
 /// A trie with per-node hash child maps (the paper's "collection of hash
@@ -223,6 +232,10 @@ impl SearchTree for HashTrieIndex {
     fn child_values(&self, node: u32) -> Vec<Value> {
         self.nodes[node as usize].sorted.clone()
     }
+
+    fn child_slice(&self, node: u32) -> Option<&[Value]> {
+        Some(&self.nodes[node as usize].sorted)
+    }
 }
 
 // Blanket impl of the trait for the sorted counted trie (its inherent
@@ -247,6 +260,9 @@ impl SearchTree for crate::TrieIndex {
     }
     fn child_values(&self, node: crate::NodeRef) -> Vec<Value> {
         crate::TrieIndex::child_values(self, node)
+    }
+    fn child_slice(&self, node: crate::NodeRef) -> Option<&[Value]> {
+        Some(crate::TrieIndex::child_slice(self, node))
     }
 }
 

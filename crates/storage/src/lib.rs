@@ -25,9 +25,16 @@
 //! * [`TrieIndex`] — the paper's search tree, realised as a *counted trie*
 //!   over sorted rows (sorted construction costs an extra `log` factor,
 //!   which the paper's footnote 3 explicitly allows);
+//! * [`FlatIndex`] — the same shape with a cache-friendly **flat columnar**
+//!   layout: contiguous sorted value arrays per level plus offset ranges
+//!   instead of node/parent pointers, with [`gallop`]ing lookups;
+//! * [`gallop`] — exponential search and adaptive intersection over sorted
+//!   slices, shared by the flat backend and the engine's scan sites;
 //! * [`hash`] — a fast non-cryptographic hasher (`FxHashMap`/`FxHashSet`)
 //!   so join keys are not bottlenecked on SipHash.
 
+mod flat;
+pub mod gallop;
 pub mod hash;
 pub mod index;
 pub mod ops;
@@ -38,6 +45,7 @@ mod schema;
 mod trie;
 mod value;
 
+pub use flat::{FlatIndex, FlatNode};
 pub use index::{HashTrieIndex, SearchTree};
 pub use relation::{Relation, RowSet};
 pub use schema::{Attr, Schema};

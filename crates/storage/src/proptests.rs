@@ -4,7 +4,7 @@
 //! `Recursive-Join`'s (ST1)–(ST3) usage.
 
 use crate::ops::{project, select_eq};
-use crate::{Attr, Relation, Schema, TrieIndex, Value};
+use crate::{gallop, Attr, FlatIndex, Relation, Schema, SearchTree, TrieIndex, Value};
 use proptest::prelude::*;
 
 fn arb_rel(arity: usize, max_rows: usize, dom: u64) -> impl Strategy<Value = Relation> {
@@ -83,6 +83,114 @@ proptest! {
             for b in 0..4u64 {
                 let row = [Value(a), Value(b)];
                 prop_assert_eq!(trie.contains_prefix(&row), rel.contains_row(&row));
+            }
+        }
+    }
+
+    /// The flat columnar backend is pointwise equivalent to the counted
+    /// trie: same counts, same descents, same enumerations in the same
+    /// order, same child slices — for random relations and both orders.
+    #[test]
+    fn flat_index_matches_trie(rel in arb_rel(3, 40, 4), reversed in any::<bool>()) {
+        let mut order: Vec<Attr> = rel.schema().attrs().to_vec();
+        if reversed {
+            order.reverse();
+        }
+        let trie = TrieIndex::build(&rel, &order).expect("permutation");
+        let flat = FlatIndex::build(&rel, &order).expect("permutation");
+        for depth in 1..=3usize {
+            prop_assert_eq!(
+                trie.distinct_count(trie.root(), depth),
+                flat.distinct_count(flat.root(), depth)
+            );
+        }
+        prop_assert_eq!(trie.child_slice(trie.root()), flat.child_slice(flat.root()));
+        for v0 in 0..4u64 {
+            let tn = trie.descend(trie.root(), Value(v0));
+            let fnode = flat.descend(flat.root(), Value(v0));
+            prop_assert_eq!(tn.is_some(), fnode.is_some());
+            let (Some(tn), Some(fnode)) = (tn, fnode) else { continue };
+            prop_assert_eq!(trie.distinct_count(tn, 1), flat.distinct_count(fnode, 1));
+            prop_assert_eq!(trie.distinct_count(tn, 2), flat.distinct_count(fnode, 2));
+            prop_assert_eq!(trie.child_slice(tn), flat.child_slice(fnode));
+            let mut t_rows = Vec::new();
+            trie.for_each_extension(tn, 2, |t| t_rows.push(t.to_vec()));
+            let mut f_rows = Vec::new();
+            flat.for_each_extension(fnode, 2, |t| f_rows.push(t.to_vec()));
+            prop_assert_eq!(t_rows, f_rows);
+        }
+        // full-depth enumerations agree, including order
+        let mut t_all = Vec::new();
+        SearchTree::for_each_extension(&trie, trie.root(), 3, |t| t_all.push(t.to_vec()));
+        let mut f_all = Vec::new();
+        SearchTree::for_each_extension(&flat, flat.root(), 3, |t| f_all.push(t.to_vec()));
+        prop_assert_eq!(t_all, f_all);
+    }
+
+    /// Galloping lower bound agrees with std's `partition_point` from
+    /// every start cursor, on sorted slices with duplicates — covering
+    /// empty slices, singletons, boundary duplicates, and needles past
+    /// the end (overshoot clamping).
+    #[test]
+    fn gallop_lower_bound_matches_partition_point(
+        xs in prop::collection::vec(0..12u64, 0..40),
+        start in 0..45usize,
+        needle in 0..14u64,
+    ) {
+        let mut xs = xs;
+        xs.sort_unstable();
+        let s: Vec<Value> = xs.into_iter().map(Value).collect();
+        let got = gallop::lower_bound_from(&s, start, Value(needle));
+        let base = start.min(s.len());
+        let want = base + s[base..].partition_point(|&x| x < Value(needle));
+        prop_assert_eq!(got, want);
+    }
+
+    /// Galloping intersection is a drop-in for the naive two-pointer
+    /// merge (the engine's original `intersect_sorted`), including
+    /// duplicate multiplicities, on arbitrary sorted inputs.
+    #[test]
+    fn gallop_intersect_matches_naive_merge(
+        a in prop::collection::vec(0..30u64, 0..60),
+        b in prop::collection::vec(0..30u64, 0..400),
+    ) {
+        let (mut a, mut b) = (a, b);
+        a.sort_unstable();
+        b.sort_unstable();
+        let av: Vec<Value> = a.into_iter().map(Value).collect();
+        let bv: Vec<Value> = b.into_iter().map(Value).collect();
+        // the naive merge oracle
+        let mut want = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < av.len() && j < bv.len() {
+            match av[i].cmp(&bv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    want.push(av[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        prop_assert_eq!(gallop::intersect(&av, &bv), want.clone());
+        prop_assert_eq!(gallop::intersect(&bv, &av), want);
+    }
+
+    /// `TrieIndex::descend` (binary search) and `FlatIndex::descend`
+    /// (galloping) agree on hit/miss and land on nodes with identical
+    /// sections, for needles inside and past the key range.
+    #[test]
+    fn descend_lookup_sweep(rel in arb_rel(2, 30, 6)) {
+        let order: Vec<Attr> = rel.schema().attrs().to_vec();
+        let trie = TrieIndex::build(&rel, &order).expect("permutation");
+        let flat = FlatIndex::build(&rel, &order).expect("permutation");
+        for v in 0..9u64 { // domain is 0..6: values 6..9 probe past the end
+            let tn = trie.descend(trie.root(), Value(v));
+            let fnode = flat.descend(flat.root(), Value(v));
+            prop_assert_eq!(tn.is_some(), fnode.is_some());
+            if let (Some(tn), Some(fnode)) = (tn, fnode) {
+                prop_assert_eq!(trie.child_slice(tn), flat.child_slice(fnode));
             }
         }
     }

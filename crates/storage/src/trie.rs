@@ -268,11 +268,19 @@ impl TrieIndex {
     /// Children values of `node` (its branch labels), in sorted order.
     #[must_use]
     pub fn child_values(&self, node: NodeRef) -> Vec<Value> {
+        self.child_slice(node).to_vec()
+    }
+
+    /// Branch labels of `node` as a borrowed slice of the level's value
+    /// array (trie levels are contiguous, so no copy is needed). Empty at
+    /// full depth.
+    #[must_use]
+    pub fn child_slice(&self, node: NodeRef) -> &[Value] {
         if node.depth >= self.arity() {
-            return Vec::new();
+            return &[];
         }
         let (lo, hi) = self.range_at(node, node.depth + 1);
-        self.levels[node.depth].values[lo as usize..hi as usize].to_vec()
+        &self.levels[node.depth].values[lo as usize..hi as usize]
     }
 
     /// Materialises the subtree at `node` over the next `extra` attributes

@@ -81,6 +81,15 @@ fn main() {
         profile.total_shards,
         profile.query_id,
     );
+    // Repeat the same query: the prepared plan (reduction + cover LP +
+    // flat indexes) is served from the catalog's plan cache, and the
+    // hit/miss account is mirrored into the metrics registry.
+    let (repeat, _) = execute_profiled(&q, &catalog).expect("repeat execute");
+    assert_eq!(repeat.relation, res.relation, "cache hit changes nothing");
+    let (hits, misses) = catalog.plan_cache_stats();
+    assert!(hits >= 1, "the repeat submission hit the plan cache");
+    assert_eq!(misses, 1, "only the first submission built a plan");
+    println!("plan cache: {hits} hits / {misses} misses");
 
     // --- 3. the trace event ring --------------------------------------
     let events = trace().drain();
@@ -99,6 +108,11 @@ fn main() {
     // --- 4. the metrics registry, Prometheus text format --------------
     let text = global().render_prometheus();
     check_exposition(&text).expect("well-formed exposition");
+    assert!(
+        text.contains("wcoj_plan_cache_hits_total")
+            && text.contains("wcoj_plan_cache_misses_total"),
+        "plan-cache counters are mirrored into the registry"
+    );
     for line in text.lines() {
         if line.starts_with("# TYPE") || !line.starts_with('#') && !line.contains("_bucket") {
             println!("{line}");

@@ -30,6 +30,7 @@ use wcoj::core::nprr::PreparedQuery;
 use wcoj::core::JoinStats;
 use wcoj::datagen as gen;
 use wcoj::prelude::*;
+use wcoj::storage::{FlatIndex, SearchTree, TrieIndex};
 use wcoj::{join_with, Algorithm, SubmitError};
 
 /// Asserts rows are identical *including order* — `Relation` equality
@@ -237,12 +238,18 @@ fn flood_past_queue_bound_sheds_and_stays_correct() {
 
 /// Blocking submitters never shed: under the same flood, every
 /// submission waits out the overload and all queries land, bit-identical.
-#[test]
-fn blocking_flood_delays_instead_of_shedding() {
+/// Generic over the index backend so the flat columnar layout takes the
+/// same beating as the pointer trie.
+fn blocking_flood_delays_instead_of_shedding_impl<S>()
+where
+    S: SearchTree + Send + Sync + 'static,
+{
     let instances = flood_instances();
-    let prepared: Vec<Arc<PreparedQuery>> = instances
+    let prepared: Vec<Arc<PreparedQuery<S>>> = instances
         .iter()
-        .map(|(_, rels, _)| Arc::new(PreparedQuery::new(rels).expect("well-formed instance")))
+        .map(|(_, rels, _)| {
+            Arc::new(PreparedQuery::<S>::new_indexed(rels).expect("well-formed instance"))
+        })
         .collect();
     let service = Arc::new(Service::new(
         ServiceConfig::with_workers(2).with_queue_depth(3),
@@ -279,6 +286,16 @@ fn blocking_flood_delays_instead_of_shedding() {
     assert_eq!(counters.submitted, (SUBMITTERS * PER_SUBMITTER) as u64);
     assert_eq!(counters.completed, counters.submitted);
     assert_eq!(counters.in_flight, 0);
+}
+
+#[test]
+fn blocking_flood_delays_instead_of_shedding() {
+    blocking_flood_delays_instead_of_shedding_impl::<TrieIndex>();
+}
+
+#[test]
+fn blocking_flood_delays_instead_of_shedding_flat() {
+    blocking_flood_delays_instead_of_shedding_impl::<FlatIndex>();
 }
 
 /// Satellite (c): round-robin dispatch. A huge multi-task query is
@@ -375,10 +392,14 @@ fn small_query_behind_huge_one_finishes_first() {
 /// surviving queries stay bit-identical.
 #[test]
 fn cancellation_under_load_frees_the_pool() {
+    // Runs on the flat columnar backend: cancellation mid-flood must
+    // behave identically regardless of index layout.
     let instances = flood_instances();
-    let prepared: Vec<Arc<PreparedQuery>> = instances
+    let prepared: Vec<Arc<PreparedQuery<FlatIndex>>> = instances
         .iter()
-        .map(|(_, rels, _)| Arc::new(PreparedQuery::new(rels).expect("well-formed instance")))
+        .map(|(_, rels, _)| {
+            Arc::new(PreparedQuery::<FlatIndex>::new_indexed(rels).expect("well-formed instance"))
+        })
         .collect();
     let service = Arc::new(Service::new(ServiceConfig::with_workers(2)));
     let cfg = ExecConfig {
@@ -439,10 +460,13 @@ fn cancellation_under_load_frees_the_pool() {
 /// results are bit-identical.
 #[test]
 fn deadline_submission_flood() {
+    // Deadline path on the flat columnar backend.
     let instances = flood_instances();
-    let prepared: Vec<Arc<PreparedQuery>> = instances
+    let prepared: Vec<Arc<PreparedQuery<FlatIndex>>> = instances
         .iter()
-        .map(|(_, rels, _)| Arc::new(PreparedQuery::new(rels).expect("well-formed instance")))
+        .map(|(_, rels, _)| {
+            Arc::new(PreparedQuery::<FlatIndex>::new_indexed(rels).expect("well-formed instance"))
+        })
         .collect();
     let service = Arc::new(Service::new(
         ServiceConfig::with_workers(2).with_queue_depth(2),

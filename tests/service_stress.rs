@@ -21,7 +21,7 @@ use wcoj::core::nprr::PreparedQuery;
 use wcoj::core::JoinStats;
 use wcoj::datagen as gen;
 use wcoj::prelude::*;
-use wcoj::storage::{HashTrieIndex, SearchTree, TrieIndex};
+use wcoj::storage::{FlatIndex, HashTrieIndex, SearchTree, TrieIndex};
 
 /// The seed query families, `variants` instances each, with sizes small
 /// enough that the full matrix stays debug-mode friendly.
@@ -291,6 +291,61 @@ fn zero_shard_plans_resolve_cleanly() {
     assert_eq!(par.stats.shards, 0);
 }
 
+/// Repeat-submission rounds through the catalog front end on a live
+/// service: the prepared plan (cover LP + flat indexes) is built exactly
+/// once, every later round is a plan-cache hit, outputs stay
+/// bit-identical across rounds, and replacing a relation mid-stream
+/// forces a rebuild with zero stale hits.
+#[test]
+fn repeat_submissions_reuse_cached_plans_through_the_service() {
+    let rels = vec![
+        gen::zipf_relation(301, &[0, 1], 140, 18, 1.3),
+        gen::zipf_relation(302, &[1, 2], 140, 18, 1.3),
+        gen::zipf_relation(303, &[0, 2], 140, 18, 1.3),
+    ];
+    let seq = join_with(&rels, Algorithm::Nprr, None).unwrap().relation;
+    let mut catalog = Catalog::new();
+    for (name, rel) in ["R", "S", "T"].iter().zip(rels.iter().cloned()) {
+        catalog.insert(*name, rel);
+    }
+    let service = Arc::new(Service::new(ServiceConfig::with_workers(4)));
+    catalog.set_service(Some(Arc::clone(&service)));
+    let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+
+    let first = execute(&q, &catalog).unwrap();
+    assert_bit_identical(&first.relation, &seq, "first round vs sequential");
+    assert_eq!(catalog.plan_cache_stats(), (0, 1), "first round builds");
+    for round in 1..=5u64 {
+        let out = execute(&q, &catalog).unwrap();
+        assert_bit_identical(&out.relation, &seq, &format!("round {round}"));
+        assert_eq!(
+            catalog.plan_cache_stats(),
+            (round, 1),
+            "round {round} served from the plan cache"
+        );
+    }
+    assert_eq!(service.submitted(), 6, "every round still hit the pool");
+
+    // Replace a relation mid-stream: the next round must rebuild (no
+    // stale hit) and reflect the new contents.
+    catalog.insert("R", gen::zipf_relation(999, &[0, 1], 140, 18, 1.3));
+    let replaced = execute(&q, &catalog).unwrap();
+    assert_eq!(
+        catalog.plan_cache_stats(),
+        (5, 2),
+        "replacement invalidated the cached plan"
+    );
+    let oracle_rels = vec![
+        catalog.get("R").unwrap().clone(),
+        catalog.get("S").unwrap().clone(),
+        catalog.get("T").unwrap().clone(),
+    ];
+    let oracle = join_with(&oracle_rels, Algorithm::Nprr, None)
+        .unwrap()
+        .relation;
+    assert_bit_identical(&replaced.relation, &oracle, "post-replace round");
+}
+
 /// A random query instance in the style of the exec proptests: 2–5
 /// relations of arity ≤ 3 over 2–5 attributes.
 fn random_instance(seed: u64) -> Vec<Relation> {
@@ -393,6 +448,7 @@ proptest! {
             let ctx = format!("seed {seed}, {workers} workers");
             check_service_run::<TrieIndex>(&service, rels, seq, &cfg, &format!("{ctx}, sorted"));
             check_service_run::<HashTrieIndex>(&service, rels, seq, &cfg, &format!("{ctx}, hashed"));
+            check_service_run::<FlatIndex>(&service, rels, seq, &cfg, &format!("{ctx}, flat"));
         }
     }
 
@@ -410,7 +466,8 @@ proptest! {
             let service = Service::new(ServiceConfig::with_workers(workers));
             let cfg = ExecConfig { shard_min_size: 1, ..service.exec_config() };
             let ctx = format!("zipf seed {seed}, {workers} workers");
-            check_service_run::<TrieIndex>(&service, &rels, &seq, &cfg, &ctx);
+            check_service_run::<TrieIndex>(&service, &rels, &seq, &cfg, &format!("{ctx}, sorted"));
+            check_service_run::<FlatIndex>(&service, &rels, &seq, &cfg, &format!("{ctx}, flat"));
         }
     }
 }

@@ -23,7 +23,7 @@ use wcoj::core::JoinStats;
 use wcoj::datagen as gen;
 use wcoj::exec::{par_join_prepared, ShardPlan, OVERSPLIT};
 use wcoj::prelude::*;
-use wcoj::storage::{HashTrieIndex, SearchTree, TrieIndex};
+use wcoj::storage::{FlatIndex, HashTrieIndex, SearchTree, TrieIndex};
 
 /// The skewed instance families: high-exponent Zipf triangles (many
 /// moderately hot keys) and the single-hot-key triangle (one root value
@@ -165,8 +165,9 @@ where
     assert_stats_identical(&again.stats, &expect_stats, &format!("{ctx}: repeat"));
 }
 
-/// The full matrix: skewed families × threads {1, 2, 4, 8} × both index
-/// backends × both `ShardSplit` modes, rows and stats bit-identical.
+/// The full matrix: skewed families × threads {1, 2, 4, 8} × all three
+/// index backends × both `ShardSplit` modes, rows and stats
+/// bit-identical.
 #[test]
 fn skew_matrix_matches_sequential() {
     for (name, rels) in skewed_instances() {
@@ -175,6 +176,7 @@ fn skew_matrix_matches_sequential() {
             .relation;
         let sorted = PreparedQuery::<TrieIndex>::new_indexed(&rels).expect("prepare");
         let hashed = PreparedQuery::<HashTrieIndex>::new_indexed(&rels).expect("prepare");
+        let flat = PreparedQuery::<FlatIndex>::new_indexed(&rels).expect("prepare");
         for threads in [1usize, 2, 4, 8] {
             for split in [ShardSplit::Work, ShardSplit::Candidates] {
                 let cfg = ExecConfig {
@@ -186,6 +188,7 @@ fn skew_matrix_matches_sequential() {
                 let ctx = format!("{name}, t={threads}, {split:?}");
                 check_par_run(&sorted, &seq, &cfg, &format!("{ctx}, sorted"));
                 check_par_run(&hashed, &seq, &cfg, &format!("{ctx}, hashed"));
+                check_par_run(&flat, &seq, &cfg, &format!("{ctx}, flat"));
             }
         }
     }
@@ -355,5 +358,11 @@ proptest! {
         let ctx = format!("seed {seed}, {workers} workers, factor {factor}");
         assert_bit_identical(&out.relation, &seq, &ctx);
         assert_profile_consistent(&profile, &out, &ctx);
+        // Same instance through the flat columnar backend: still
+        // bit-identical under random split factors and pool sizes.
+        let flat = Arc::new(PreparedQuery::<FlatIndex>::new_indexed(&rels).unwrap());
+        let (out, profile) = service.submit(&flat, &cfg).unwrap().wait_profiled().unwrap();
+        assert_bit_identical(&out.relation, &seq, &format!("{ctx}, flat"));
+        assert_profile_consistent(&profile, &out, &format!("{ctx}, flat"));
     }
 }
