@@ -352,6 +352,57 @@ impl<S: SearchTree> PreparedQuery<S> {
         assemble_output(&self.q, &self.order, rows, stats)
     }
 
+    /// Converts **one shard slot's** raw total-order rows into a relation
+    /// over the canonical output schema, sorted and deduplicated *within
+    /// the slot* — the unit an incremental consumer (a streaming `/rows`
+    /// endpoint) emits as each slot settles.
+    ///
+    /// Shards partition the output by disjoint root ranges (and, for
+    /// anchor sub-shards, disjoint anchor ranges within one root value),
+    /// so per-slot deduplication equals global deduplication: a row's
+    /// root/anchor values pin it to exactly one slot. Whether the
+    /// *concatenation* of slot relations in slot order is additionally
+    /// bit-identical to [`Self::assemble`]'s single relation is exactly
+    /// [`Self::slots_stream_sorted`].
+    ///
+    /// # Errors
+    /// Propagates storage errors (none expected for well-formed rows).
+    pub fn assemble_slot(&self, rows: Vec<Vec<Value>>) -> Result<Relation, QueryError> {
+        if self.root.is_none() {
+            return Ok(if rows.is_empty() {
+                Relation::empty(self.q.output_schema())
+            } else {
+                Relation::nullary_true()
+            });
+        }
+        assemble_output(&self.q, &self.order, rows, JoinStats::default()).map(|out| out.relation)
+    }
+
+    /// `true` iff concatenating [`Self::assemble_slot`] relations in slot
+    /// (= ascending root-range) order reproduces [`Self::assemble`]'s
+    /// output **bit-identically, including row order**.
+    ///
+    /// The final output is sorted in output-schema lexicographic order;
+    /// slot concatenation yields total-order-major order with the root
+    /// attribute leading. The two agree exactly when the total order
+    /// visits the attributes in the canonical (output-schema) sequence:
+    /// then the root attribute is the primary sort key, slots ascend by
+    /// root range (anchor sub-shards by anchor range, the secondary key),
+    /// and each slot is internally sorted — so the concatenation is
+    /// globally sorted and per-slot dedup is global dedup. When this is
+    /// `false` (e.g. the triangle query's total order starts at the
+    /// highest-degree vertex, not attribute 0), a consumer must buffer
+    /// all slots and merge before comparing against the assembled output.
+    #[must_use]
+    pub fn slots_stream_sorted(&self) -> bool {
+        let order_attrs: Vec<Attr> = self
+            .order
+            .iter()
+            .map(|&v| self.q.attr_of_vertex(v))
+            .collect();
+        order_attrs.as_slice() == self.q.output_schema().attrs()
+    }
+
     /// Evaluates with the given fractional cover, or the LP optimum when
     /// `None`. Only the `O(mn·∏N^x)` evaluation cost is paid here.
     ///
@@ -640,6 +691,72 @@ mod tests {
         merged.sort_unstable();
         expect.sort_unstable();
         assert_eq!(merged, expect, "sub-shards union to the root value's rows");
+    }
+
+    #[test]
+    fn slot_assembly_concatenates_to_the_output_when_order_is_canonical() {
+        // A single-relation "join" keeps the total order canonical
+        // (attribute 0 first), so slot-order concatenation of per-slot
+        // assemblies must be bit-identical to the full assembled output.
+        let rels = [random_rel(40, &[0, 1], 120, 16)];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        assert!(prepared.slots_stream_sorted());
+        let full = prepared.evaluate(None).unwrap().relation;
+        let (x, b) = prepared.resolve_cover(None).unwrap();
+        let cands = prepared.root_candidates();
+        assert!(cands.len() >= 4, "enough root values to shard");
+        // Three slots in ascending root order with arbitrary cut points.
+        let cuts = [cands[cands.len() / 3], cands[2 * cands.len() / 3]];
+        let shards = [
+            RootShard::range(Value(u64::MIN), cuts[0]),
+            RootShard::range(Value(cuts[0].0 + 1), cuts[1]),
+            RootShard::range(Value(cuts[1].0 + 1), Value(u64::MAX)),
+        ];
+        let mut streamed = Relation::empty(full.schema().clone());
+        for shard in shards {
+            let (rows, _) = prepared.run_shard(&x, b, Some(shard));
+            let slot = prepared.assemble_slot(rows).unwrap();
+            assert_eq!(slot.schema(), full.schema());
+            for row in slot.iter_rows() {
+                streamed.push_row(row).unwrap();
+            }
+        }
+        // Plain concatenation — no global re-sort — matches exactly.
+        assert_eq!(streamed, full);
+    }
+
+    #[test]
+    fn slot_assembly_needs_a_merge_when_order_is_not_canonical() {
+        // The triangle's total order is (1, 0, 2): slots stream in
+        // root-attribute-major order, which is NOT the output's lex
+        // order — the predicate must say so, and a buffered merge
+        // (push + sort_dedup) must still reproduce the output.
+        let rels = [
+            random_rel(41, &[0, 1], 60, 8),
+            random_rel(42, &[1, 2], 60, 8),
+            random_rel(43, &[0, 2], 60, 8),
+        ];
+        let prepared = PreparedQuery::new(&rels).unwrap();
+        assert_eq!(prepared.total_order()[0], 1, "root attribute is 1");
+        assert!(!prepared.slots_stream_sorted());
+        let full = prepared.evaluate(None).unwrap().relation;
+        let (x, b) = prepared.resolve_cover(None).unwrap();
+        let cands = prepared.root_candidates();
+        assert!(!cands.is_empty());
+        let mid = cands[cands.len() / 2];
+        let mut merged = Relation::empty(full.schema().clone());
+        for shard in [
+            RootShard::range(Value(u64::MIN), mid),
+            RootShard::range(Value(mid.0 + 1), Value(u64::MAX)),
+        ] {
+            let (rows, _) = prepared.run_shard(&x, b, Some(shard));
+            let slot = prepared.assemble_slot(rows).unwrap();
+            for row in slot.iter_rows() {
+                merged.push_row(row).unwrap();
+            }
+        }
+        merged.sort_dedup();
+        assert_eq!(merged, full);
     }
 
     #[test]

@@ -173,6 +173,14 @@ fn warn_malformed_env(key: &str, problem: &str) {
     eprintln!("wcoj: ignoring {key}: {problem}; using the default");
 }
 
+/// Records (and warns once per key about) a malformed environment knob —
+/// the hook for `WCOJ_*` knobs whose values are not plain `usize`s (e.g.
+/// `wcoj-server`'s `WCOJ_BIND` socket address), so they share the same
+/// warn-once registry as the numeric knobs read via [`read_env_usize`].
+pub fn note_malformed_env(key: &str, problem: &str) {
+    warn_malformed_env(key, problem);
+}
+
 /// Environment knobs that have been warned about as malformed so far (one
 /// entry per key, first-seen order). A `WCOJ_HEAVY_SPLIT=eight` typo no
 /// longer reverts to the default with *no* signal: the first read warns on

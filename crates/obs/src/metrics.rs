@@ -140,6 +140,12 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a duration in microseconds (saturating) — the convention
+    /// every `*_us` histogram in this workspace uses.
+    pub fn observe_duration_us(&self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
     /// Number of observations.
     #[must_use]
     pub fn count(&self) -> u64 {

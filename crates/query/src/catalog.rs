@@ -82,6 +82,14 @@ impl Catalog {
         &self.dict
     }
 
+    /// An owning handle on the shared dictionary — for decoding rows
+    /// after the catalog borrow is released (e.g. while streaming a
+    /// response without holding a catalog lock).
+    #[must_use]
+    pub fn dictionary_handle(&self) -> Arc<Dictionary> {
+        Arc::clone(&self.dict)
+    }
+
     /// Registers (or replaces) a relation under `name`. Every insert —
     /// including a replace — stamps the relation with a fresh globally
     /// unique generation, invalidating any cached plan built over the

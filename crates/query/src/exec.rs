@@ -33,6 +33,23 @@ impl QueryResult {
     }
 }
 
+/// A parsed query bound against a catalog: the cached prepared plan plus
+/// the head projection. Shared by the blocking ([`execute_profiled`]) and
+/// streaming ([`submit_query`]) execution paths.
+struct Bound {
+    plan: crate::plan_cache::CachedPlan,
+    head_attrs: Vec<Attr>,
+    columns: Vec<String>,
+}
+
+impl Bound {
+    /// `true` iff the head keeps every join variable in join-output
+    /// order — projection is the identity.
+    fn identity(&self) -> bool {
+        self.plan.query().output_schema().attrs() == self.head_attrs.as_slice()
+    }
+}
+
 /// Executes a parsed query against a catalog: §7.3 reduction per atom,
 /// worst-case-optimal join, projection onto the head.
 ///
@@ -44,17 +61,8 @@ pub fn execute(q: &ParsedQuery, catalog: &Catalog) -> Result<QueryResult, QueryT
     execute_profiled(q, catalog).map(|(result, _)| result)
 }
 
-/// [`execute`] plus the scheduler's per-query execution profile. The
-/// profile is `Some` exactly when the catalog routes through an attached
-/// [`Service`](wcoj_service::Service) — the sequential and per-call
-/// parallel engines have no scheduler to profile.
-///
-/// # Errors
-/// Same as [`execute`].
-pub fn execute_profiled(
-    q: &ParsedQuery,
-    catalog: &Catalog,
-) -> Result<(QueryResult, Option<wcoj_service::QueryProfile>), QueryTextError> {
+/// Name resolution + plan-cache lookup, shared by every execution path.
+fn bind(q: &ParsedQuery, catalog: &Catalog) -> Result<Bound, QueryTextError> {
     // Using the text front-end implies both engines are linked; make
     // Algorithm::NprrParallel dispatchable process-wide (idempotent).
     wcoj_exec::install();
@@ -140,6 +148,37 @@ pub fn execute_profiled(
             Ok(Arc::new(PreparedQuery::<FlatIndex>::new_indexed(&reduced)?))
         })
         .map_err(|e| QueryTextError::Eval(e.to_string()))?;
+    Ok(Bound {
+        plan,
+        head_attrs: head_ids.into_iter().map(Attr).collect(),
+        columns: q.head_vars.clone(),
+    })
+}
+
+/// Maps an engine error onto the typed HTTP-facing variants.
+fn map_engine_error(e: wcoj_core::QueryError) -> QueryTextError {
+    match e {
+        // Admission-control shed: surface the typed 429 so the front end
+        // can distinguish "retry later" from a real evaluation failure
+        // (applies to text queries and Datalog program rules alike — both
+        // route through here).
+        wcoj_core::QueryError::Overloaded => QueryTextError::Overloaded,
+        e => QueryTextError::Eval(e.to_string()),
+    }
+}
+
+/// [`execute`] plus the scheduler's per-query execution profile. The
+/// profile is `Some` exactly when the catalog routes through an attached
+/// [`Service`](wcoj_service::Service) — the sequential and per-call
+/// parallel engines have no scheduler to profile.
+///
+/// # Errors
+/// Same as [`execute`].
+pub fn execute_profiled(
+    q: &ParsedQuery,
+    catalog: &Catalog,
+) -> Result<(QueryResult, Option<wcoj_service::QueryProfile>), QueryTextError> {
+    let bound = bind(q, catalog)?;
 
     // The worst-case-optimal join over the cached plan — scheduled on the
     // shared-pool service when one is attached, on the per-call
@@ -148,43 +187,246 @@ pub fn execute_profiled(
     let mut profile = None;
     let full = if let Some(service) = catalog.service() {
         let (out, query_profile) = service
-            .submit(&plan, &service.exec_config())
+            .submit(&bound.plan, &service.exec_config())
             .map_err(wcoj_core::QueryError::from)
             .and_then(wcoj_service::QueryHandle::wait_profiled)
-            .map_err(|e| match e {
-                // Admission-control shed: surface the typed 429 so the
-                // front end can distinguish "retry later" from a real
-                // evaluation failure (applies to text queries and Datalog
-                // program rules alike — both route through here).
-                wcoj_core::QueryError::Overloaded => QueryTextError::Overloaded,
-                e => QueryTextError::Eval(e.to_string()),
-            })?;
+            .map_err(map_engine_error)?;
         profile = Some(query_profile);
         out.relation
     } else if let Some(cfg) = catalog.parallel() {
-        wcoj_exec::par_join_prepared(&plan, None, cfg)
+        wcoj_exec::par_join_prepared(&bound.plan, None, cfg)
             .map_err(|e| QueryTextError::Eval(e.to_string()))?
             .relation
     } else {
-        plan.evaluate(None)
+        bound
+            .plan
+            .evaluate(None)
             .map_err(|e| QueryTextError::Eval(e.to_string()))?
             .relation
     };
 
     // Project onto the head (identity for full queries).
-    let head_attrs: Vec<Attr> = head_ids.iter().map(|&v| Attr(v)).collect();
-    let relation = if full.schema().attrs() == head_attrs.as_slice() {
+    let relation = if bound.identity() {
         full
     } else {
-        project(&full, &head_attrs).map_err(|e| QueryTextError::Eval(e.to_string()))?
+        project(&full, &bound.head_attrs).map_err(|e| QueryTextError::Eval(e.to_string()))?
     };
     Ok((
         QueryResult {
             relation,
-            columns: q.head_vars.clone(),
+            columns: bound.columns,
         },
         profile,
     ))
+}
+
+/// The future of a [`submit_query`] submission: yields the result in
+/// per-slot batches as the shared pool settles them, instead of blocking
+/// for the full relation. The streaming transport behind the HTTP
+/// front end's chunked `/query/{id}/rows` endpoint.
+///
+/// Dropping a `PendingQuery` before draining it cancels the underlying
+/// service query (workers skip its remaining shards) — a vanished
+/// consumer cannot leak pool capacity.
+pub struct PendingQuery {
+    columns: Vec<String>,
+    head_attrs: Vec<Attr>,
+    /// The head projection is the identity (full query, join order).
+    identity: bool,
+    /// Batches can be pushed to the consumer as they arrive: projection
+    /// is the identity AND slot batches concatenate in output order.
+    /// Otherwise every batch is buffered and merged into one.
+    incremental: bool,
+    inner: PendingInner,
+}
+
+enum PendingInner {
+    /// Live subscription on the shared pool.
+    Stream(wcoj_service::RowStream),
+    /// Resolved eagerly (no service attached, or degenerate input):
+    /// one synthetic batch, already projected.
+    Ready(Option<Relation>),
+}
+
+impl PendingQuery {
+    /// Head variable names, aligned with every batch's columns.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// `true` iff batches stream incrementally: each one is a final,
+    /// disjoint, correctly ordered piece of the result, so a front end
+    /// can flush it to the client immediately. When `false`,
+    /// [`next_batch`](PendingQuery::next_batch) yields the whole result
+    /// as a single batch (the merge had to buffer anyway).
+    #[must_use]
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// `true` iff every shard has already settled — no further
+    /// [`next_batch`](PendingQuery::next_batch) call will block.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            PendingInner::Stream(stream) => stream.is_finished(),
+            PendingInner::Ready(..) => true,
+        }
+    }
+
+    /// Blocks until every shard has settled, without consuming batches.
+    pub fn wait_settled(&self) {
+        if let PendingInner::Stream(stream) = &self.inner {
+            stream.wait_settled();
+        }
+    }
+
+    /// Blocks until the next batch of result rows is available; `None`
+    /// once the result is fully consumed. Batch columns follow
+    /// [`columns`](PendingQuery::columns).
+    ///
+    /// # Errors
+    /// Evaluation failures, surfaced on the batch they interrupt.
+    ///
+    /// # Panics
+    /// If a pool worker panicked while running one of this query's
+    /// shards (mirrors [`QueryHandle::wait`](wcoj_service::QueryHandle)).
+    pub fn next_batch(&mut self) -> Option<Result<Relation, QueryTextError>> {
+        match &mut self.inner {
+            PendingInner::Ready(slot) => slot.take().map(Ok),
+            PendingInner::Stream(stream) => {
+                if self.incremental {
+                    // identity projection + output-ordered slots: forward
+                    // each slot relation untouched.
+                    let batch = stream.next_batch()?;
+                    Some(batch.map(|b| b.relation).map_err(map_engine_error))
+                } else {
+                    // Merge path: drain every slot, concatenate, one
+                    // final sort+dedup, then project. Yields exactly one
+                    // batch; subsequent calls find the stream drained.
+                    let mut merged: Option<Relation> = None;
+                    while let Some(batch) = stream.next_batch() {
+                        let batch = match batch {
+                            Ok(b) => b,
+                            Err(e) => return Some(Err(map_engine_error(e))),
+                        };
+                        match &mut merged {
+                            None => merged = Some(batch.relation),
+                            Some(m) => {
+                                for row in batch.relation.iter_rows() {
+                                    if let Err(e) = m.push_row(row) {
+                                        return Some(Err(QueryTextError::Eval(e.to_string())));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let mut full = merged?;
+                    full.sort_dedup();
+                    let relation = if self.identity {
+                        full
+                    } else {
+                        match project(&full, &self.head_attrs) {
+                            Ok(r) => r,
+                            Err(e) => return Some(Err(QueryTextError::Eval(e.to_string()))),
+                        }
+                    };
+                    Some(Ok(relation))
+                }
+            }
+        }
+    }
+
+    /// Drains every remaining batch into a single [`QueryResult`] —
+    /// the convergence point with [`execute`]: for a freshly submitted
+    /// query, `submit_query(q, c)?.collect()` equals `execute(q, c)`.
+    ///
+    /// # Errors
+    /// Same as [`next_batch`](PendingQuery::next_batch).
+    pub fn collect(mut self) -> Result<QueryResult, QueryTextError> {
+        let mut merged: Option<Relation> = None;
+        while let Some(batch) = self.next_batch() {
+            let batch = batch?;
+            match &mut merged {
+                None => merged = Some(batch),
+                Some(m) => {
+                    for row in batch.iter_rows() {
+                        m.push_row(row)
+                            .map_err(|e| QueryTextError::Eval(e.to_string()))?;
+                    }
+                }
+            }
+        }
+        let relation = merged.unwrap_or_else(|| {
+            // Fully drained before collect: the empty relation over the
+            // head schema (duplicate-free by UnboundHeadVariable + the
+            // projection having succeeded on every earlier batch).
+            Relation::empty(
+                self.head_attrs
+                    .iter()
+                    .copied()
+                    .collect::<wcoj_storage::Schema>(),
+            )
+        });
+        Ok(QueryResult {
+            relation,
+            columns: self.columns.clone(),
+        })
+    }
+}
+
+/// Submits a parsed query for **streaming** execution: binds it against
+/// the catalog (same plan cache as [`execute`]), schedules it on the
+/// attached [`Service`](wcoj_service::Service) when there is one, and
+/// returns a [`PendingQuery`] yielding the result in per-slot batches as
+/// the pool settles them. Without a service the query is evaluated
+/// eagerly (per-call parallel or sequential) and the pending query holds
+/// one ready batch.
+///
+/// # Errors
+/// Binding errors, [`QueryTextError::Overloaded`] when admission sheds
+/// the submission, and eager-path evaluation failures.
+pub fn submit_query(q: &ParsedQuery, catalog: &Catalog) -> Result<PendingQuery, QueryTextError> {
+    let bound = bind(q, catalog)?;
+    let identity = bound.identity();
+    if let Some(service) = catalog.service() {
+        let stream = service
+            .submit(&bound.plan, &service.exec_config())
+            .map_err(wcoj_core::QueryError::from)
+            .map_err(map_engine_error)?
+            .into_stream();
+        return Ok(PendingQuery {
+            columns: bound.columns,
+            incremental: identity && stream.ordered(),
+            identity,
+            head_attrs: bound.head_attrs,
+            inner: PendingInner::Stream(stream),
+        });
+    }
+    let full = if let Some(cfg) = catalog.parallel() {
+        wcoj_exec::par_join_prepared(&bound.plan, None, cfg)
+            .map_err(|e| QueryTextError::Eval(e.to_string()))?
+            .relation
+    } else {
+        bound
+            .plan
+            .evaluate(None)
+            .map_err(|e| QueryTextError::Eval(e.to_string()))?
+            .relation
+    };
+    let relation = if identity {
+        full
+    } else {
+        project(&full, &bound.head_attrs).map_err(|e| QueryTextError::Eval(e.to_string()))?
+    };
+    Ok(PendingQuery {
+        columns: bound.columns,
+        head_attrs: bound.head_attrs,
+        identity,
+        incremental: true,
+        inner: PendingInner::Ready(Some(relation)),
+    })
 }
 
 #[cfg(test)]
@@ -482,6 +724,142 @@ mod tests {
         assert_eq!(out.relation.len(), 2);
         assert_eq!(c.plan_cache_stats(), (1, 1), "clone hit the shared entry");
         assert_eq!(clone.plan_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn submit_query_collect_matches_execute_on_every_route() {
+        use std::sync::Arc;
+        use wcoj_service::{Service, ServiceConfig};
+        let mut c = catalog_with_triangle();
+        for q in [
+            "Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).",
+            "Ans(z, x) :- R(x, y), S(y, z), T(x, z).",
+            "Ans(y) :- R(1, y)",
+        ] {
+            let q = parse_query(q).unwrap();
+            let expected = execute(&q, &c).unwrap();
+
+            // sequential (eager) route
+            let pending = crate::submit_query(&q, &c).unwrap();
+            assert!(pending.incremental(), "eager results are one final batch");
+            assert_eq!(pending.columns(), expected.columns.as_slice());
+            let got = pending.collect().unwrap();
+            assert_eq!(got.relation, expected.relation);
+            assert_eq!(got.columns, expected.columns);
+
+            // per-call parallel route
+            c.set_parallel(Some(wcoj_exec::ExecConfig::with_threads(2)));
+            let got = crate::submit_query(&q, &c).unwrap().collect().unwrap();
+            assert_eq!(got.relation, expected.relation);
+            c.set_parallel(None);
+
+            // service route
+            let service = Arc::new(Service::new(ServiceConfig::with_workers(2)));
+            c.set_service(Some(Arc::clone(&service)));
+            let got = crate::submit_query(&q, &c).unwrap().collect().unwrap();
+            assert_eq!(got.relation, expected.relation);
+            assert_eq!(got.columns, expected.columns);
+            c.set_service(None);
+        }
+    }
+
+    #[test]
+    fn streaming_submission_batches_concatenate_in_order() {
+        // A single-atom full query over a service: identity projection +
+        // canonical total order → incremental batches whose plain
+        // concatenation is the final relation.
+        use std::sync::Arc;
+        use wcoj_service::{Service, ServiceConfig};
+        let mut c = Catalog::new();
+        c.insert("E", wcoj_datagen::random_relation(11, &[0, 1], 150, 14));
+        // Per-shard minimum forced down so the 150-row root domain splits
+        // into several slots — otherwise one shard = one batch.
+        let service = Arc::new(Service::new(ServiceConfig {
+            exec: wcoj_exec::ExecConfig {
+                shard_min_size: 1,
+                ..wcoj_exec::ExecConfig::default()
+            },
+            ..ServiceConfig::with_workers(3)
+        }));
+        c.set_service(Some(Arc::clone(&service)));
+        let q = parse_query("Ans(x, y) :- E(x, y).").unwrap();
+        let expected = execute(&q, &c).unwrap();
+
+        let mut pending = crate::submit_query(&q, &c).unwrap();
+        assert!(pending.incremental(), "identity head + canonical order");
+        let mut merged = wcoj_storage::Relation::empty(expected.relation.schema().clone());
+        let mut batches = 0;
+        while let Some(batch) = pending.next_batch() {
+            for row in batch.unwrap().iter_rows() {
+                merged.push_row(row).unwrap();
+            }
+            batches += 1;
+        }
+        assert!(
+            batches >= 2,
+            "multi-shard plan streamed {batches} batch(es)"
+        );
+        // No final sort: batch order is output order.
+        assert_eq!(merged, expected.relation);
+
+        // A projected head through the same service buffers into one
+        // batch but still matches execute().
+        let q = parse_query("Ans(y) :- E(x, y).").unwrap();
+        let expected = execute(&q, &c).unwrap();
+        let mut pending = crate::submit_query(&q, &c).unwrap();
+        assert!(!pending.incremental(), "projection forces the merge path");
+        let only = pending.next_batch().unwrap().unwrap();
+        assert_eq!(only, expected.relation);
+        assert!(pending.next_batch().is_none());
+    }
+
+    #[test]
+    fn overloaded_submit_query_surfaces_typed_rejection() {
+        use std::sync::Arc;
+        let (service, blockers) = crate::test_support::overloaded_service(31);
+        let mut c = catalog_with_triangle();
+        c.set_service(Some(Arc::clone(&service)));
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        assert!(matches!(
+            crate::submit_query(&q, &c),
+            Err(QueryTextError::Overloaded)
+        ));
+        for b in blockers {
+            b.wait().unwrap();
+        }
+        let out = crate::submit_query(&q, &c).unwrap().collect().unwrap();
+        assert_eq!(out.relation.len(), 2);
+    }
+
+    #[test]
+    fn error_to_http_status_mapping() {
+        assert_eq!(
+            QueryTextError::Parse {
+                message: "x".into(),
+                at: 0
+            }
+            .http_status(),
+            400
+        );
+        assert_eq!(
+            QueryTextError::UnknownRelation("R".into()).http_status(),
+            404
+        );
+        assert_eq!(
+            QueryTextError::ArityMismatch {
+                relation: "R".into(),
+                expected: 2,
+                got: 3
+            }
+            .http_status(),
+            400
+        );
+        assert_eq!(
+            QueryTextError::UnboundHeadVariable("x".into()).http_status(),
+            400
+        );
+        assert_eq!(QueryTextError::Overloaded.http_status(), 429);
+        assert_eq!(QueryTextError::Eval("boom".into()).http_status(), 500);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub(crate) mod test_support {
 
 pub use catalog::Catalog;
 pub use csv::load_csv;
-pub use exec::{execute, execute_profiled, QueryResult};
+pub use exec::{execute, execute_profiled, submit_query, PendingQuery, QueryResult};
 pub use parser::{parse_query, ParsedAtom, ParsedQuery, ParsedTerm};
 pub use plan_cache::{CachedPlan, PlanCache};
 pub use program::{parse_program, run_program, Program};
@@ -95,6 +95,24 @@ pub enum QueryTextError {
     Overloaded,
     /// Evaluation failure from the join engine.
     Eval(String),
+}
+
+impl QueryTextError {
+    /// The HTTP status an HTTP front end should answer with: client
+    /// mistakes map to `4xx` (`400` malformed query, `404` unknown
+    /// relation, `429` shed by admission control — retry later), engine
+    /// failures to `500`.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        match self {
+            QueryTextError::Parse { .. }
+            | QueryTextError::ArityMismatch { .. }
+            | QueryTextError::UnboundHeadVariable(_) => 400,
+            QueryTextError::UnknownRelation(_) => 404,
+            QueryTextError::Overloaded => 429,
+            QueryTextError::Eval(_) => 500,
+        }
+    }
 }
 
 impl fmt::Display for QueryTextError {

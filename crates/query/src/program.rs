@@ -31,17 +31,40 @@ pub struct Program {
 /// # Errors
 /// [`QueryTextError::Parse`] on the first malformed rule.
 pub fn parse_program(src: &str) -> Result<Program, QueryTextError> {
-    // Strip comments line-wise, then split rules on '.' terminators.
-    let stripped: String = src
-        .lines()
-        .map(|l| match l.find(['#', '%']) {
-            Some(i) => &l[..i],
-            None => l,
-        })
-        .collect::<Vec<_>>()
-        .join("\n");
+    // One quote-aware pass: `.` terminates a statement and `#`/`%` opens
+    // a line comment only *outside* string literals. (The old
+    // comment-strip + `split('.')` was blind to quotes, so a constant
+    // like "v1.2" or "100%" was silently chopped apart.)
+    let mut statements: Vec<String> = Vec::new();
+    let mut stmt = String::new();
+    let mut in_str = false;
+    let mut in_comment = false;
+    for c in src.chars() {
+        if in_comment {
+            if c == '\n' {
+                in_comment = false;
+                stmt.push('\n');
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = !in_str;
+                stmt.push(c);
+            }
+            '#' | '%' if !in_str => in_comment = true,
+            '.' if !in_str => statements.push(std::mem::take(&mut stmt)),
+            _ => stmt.push(c),
+        }
+    }
+    // A trailing statement without a final '.' still parses; if it holds
+    // an unterminated string literal, parse_query reports the typed
+    // error (the '.'-retaining split cannot mask it).
+    if !stmt.trim().is_empty() {
+        statements.push(stmt);
+    }
     let mut rules = Vec::new();
-    for stmt in stripped.split('.') {
+    for stmt in &statements {
         if stmt.trim().is_empty() {
             continue;
         }
@@ -276,6 +299,46 @@ mod tests {
     #[test]
     fn empty_program_rejected() {
         assert!(parse_program("# nothing here\n").is_err());
+    }
+
+    #[test]
+    fn string_constants_survive_statement_splitting() {
+        // Satellite bugfix pin: '.', '#', and '%' inside string literals
+        // are data, not statement terminators or comment openers. The
+        // line-wise comment strip + split('.') used to corrupt these.
+        use crate::parser::ParsedTerm;
+        let p = parse_program(r##"a(x) :- R("v1.2", x). b(x) :- R("#80%", x)."##).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[0].atoms[0].terms[0], ParsedTerm::Str("v1.2".into()));
+        assert_eq!(p.rules[1].atoms[0].terms[0], ParsedTerm::Str("#80%".into()));
+
+        // End-to-end: the dotted string constant actually filters.
+        let mut c = Catalog::new();
+        let r = crate::load_csv("v1.2,10\nv2.0,20\n", c.dictionary()).unwrap();
+        c.insert("R", r);
+        let p = parse_program(r#"hits(x) :- R("v1.2", x)."#).unwrap();
+        let out = run_program(&p, &mut c).unwrap();
+        assert_eq!(out[0].1.relation.len(), 1);
+        assert!(out[0].1.relation.contains_row(&[Value(10)]));
+    }
+
+    #[test]
+    fn unterminated_string_is_a_typed_error_not_a_silent_chop() {
+        // The '.' sits inside an unterminated literal: the splitter must
+        // not treat it as a terminator, and the rule must fail with the
+        // parser's typed error instead of something mangled succeeding.
+        let e = parse_program(r#"a(x) :- R("v1. , x)"#).unwrap_err();
+        assert!(matches!(e, QueryTextError::Parse { .. }), "{e}");
+    }
+
+    #[test]
+    fn comments_inside_strings_are_data() {
+        let p = parse_program(
+            "a(x) :- R(\"keep#this\", x). % real comment with \"quote\n\
+             b(x) :- R(\"and%this\", x).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Satellite bug sweep: the text front-end's parsers must return typed
+//! errors — never panic, never loop — on arbitrary malformed input.
+//!
+//! Strategy: generate structurally valid queries from an integer seed
+//! (the proptest shim has no string strategies), then mutate them by
+//! truncation and byte surgery. Every outcome must be `Ok` or
+//! `QueryTextError::Parse` with an in-bounds offset, and parsing must be
+//! deterministic.
+
+use proptest::prelude::*;
+use wcoj_query::{parse_program, parse_query, QueryTextError};
+
+const VARS: &[&str] = &["x", "y", "z", "w_1", "Longer"];
+// A duplicate name on purpose: repeated relations in a body are legal
+// syntax (self-joins) and must parse.
+const RELS: &[&str] = &["R", "S", "edge_list", "R"];
+
+/// A structurally valid query drawn deterministically from `seed`.
+fn valid_query(seed: u64) -> String {
+    let mut s = seed | 1;
+    let mut next = move |m: usize| -> usize {
+        s = s
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((s >> 33) as usize) % m
+    };
+    let mut q = String::new();
+    q.push_str(RELS[next(RELS.len())]);
+    q.push('(');
+    let head_vars: Vec<&str> = (0..next(3)).map(|_| VARS[next(VARS.len())]).collect();
+    q.push_str(&head_vars.join(", "));
+    q.push_str(") :- ");
+    let n_atoms = 1 + next(3);
+    for a in 0..n_atoms {
+        if a > 0 {
+            q.push_str(", ");
+        }
+        q.push_str(RELS[next(RELS.len())]);
+        q.push('(');
+        let n_terms = next(4);
+        for t in 0..n_terms {
+            if t > 0 {
+                q.push(',');
+            }
+            match next(3) {
+                0 => q.push_str(VARS[next(VARS.len())]),
+                1 => q.push_str(&next(1000).to_string()),
+                // String constants deliberately contain the program
+                // separators '.', '#', '%' — they are data.
+                _ => q.push_str(&format!("\"s{}.#%{}\"", next(10), next(10))),
+            }
+        }
+        q.push(')');
+    }
+    if next(2) == 0 {
+        q.push('.');
+    }
+    q
+}
+
+/// The invariant under fuzzing: both parsers either succeed or fail with
+/// a `Parse` error whose offset is in bounds — and do so deterministically.
+fn assert_total(src: &str) {
+    match parse_query(src) {
+        Ok(_) => {}
+        Err(QueryTextError::Parse { at, .. }) => {
+            prop_assert!(at <= src.len(), "offset {at} out of bounds in {src:?}");
+        }
+        Err(other) => panic!("parse_query: non-Parse error {other:?} on {src:?}"),
+    }
+    prop_assert_eq!(
+        parse_query(src),
+        parse_query(src),
+        "non-deterministic parse"
+    );
+    match parse_program(src) {
+        Ok(_) => {}
+        Err(QueryTextError::Parse { at, .. }) => {
+            prop_assert!(at <= src.len(), "offset {at} out of bounds in {src:?}");
+        }
+        Err(other) => panic!("parse_program: non-Parse error {other:?} on {src:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn generated_valid_queries_parse(seed in 0..u64::MAX) {
+        let q = valid_query(seed);
+        let parsed = parse_query(&q);
+        prop_assert!(parsed.is_ok(), "{q}: {parsed:?}");
+        // A single valid statement is also a valid one-rule program.
+        prop_assert!(parse_program(&q).is_ok(), "{q}");
+    }
+
+    #[test]
+    fn truncated_queries_never_panic(seed in 0..u64::MAX, cut in 0..512usize) {
+        let q = valid_query(seed);
+        let cut = cut % (q.len() + 1);
+        // Byte-level truncation may split a UTF-8 pair; lossy-decode like
+        // a server reading a partial request body would.
+        let prefix = String::from_utf8_lossy(&q.as_bytes()[..cut]).into_owned();
+        assert_total(&prefix);
+    }
+
+    #[test]
+    fn byte_mutations_never_panic(seed in 0..u64::MAX, pos in 0..512usize, b in any::<u8>()) {
+        let q = valid_query(seed);
+        let mut bytes = q.into_bytes();
+        let pos = pos % bytes.len();
+        if b.is_multiple_of(2) {
+            bytes[pos] = b;
+        } else {
+            bytes.insert(pos, b);
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        assert_total(&mutated);
+    }
+}
+
+#[test]
+fn malformed_inputs_yield_typed_parse_errors() {
+    // The satellite's named edge cases, pinned explicitly: empty atom
+    // bodies are *legal*; stray commas, unterminated argument lists and
+    // string literals, and missing pieces all fail with `Parse`.
+    parse_query("Q() :- R()").unwrap();
+    parse_query("Q(x) :- R(x, y), R(y, x)").unwrap(); // duplicate relation
+    for bad in [
+        "",
+        ":-",
+        "Q(x) :-",
+        "Q( :- R(x)",
+        "Q(x,) :- R(x)",
+        "Q(x) :- ,R(x)",
+        "Q(x) :- R(,x)",
+        "Q(x) :- R(x,)",
+        "Q(x) :- R(x",
+        "Q(x) :- R(x))",
+        "Q(x) :- R(x),",
+        "Q(x) :- R(\"abc",
+        "Q(x) :- R(x) R(y)",
+        "Q(x) : - R(x)",
+        "Q(x) :- R(x, 99999999999999999999999)",
+    ] {
+        let e = parse_query(bad).unwrap_err();
+        assert!(
+            matches!(e, QueryTextError::Parse { .. }),
+            "{bad:?} gave {e:?}"
+        );
+    }
+}

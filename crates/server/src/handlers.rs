@@ -1,0 +1,488 @@
+//! Route handlers. Each takes the shared [`ServerState`], the parsed
+//! request, and the raw stream (responses — fixed or chunked — are
+//! written directly).
+
+use crate::http::{json_escape, write_response, ChunkedWriter, Request};
+use crate::jobs::Job;
+use crate::ServerState;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use wcoj_query::{load_csv, parse_program, parse_query, run_program, submit_query, QueryTextError};
+use wcoj_storage::Relation;
+
+/// How long `GET /query/{id}?block=1` waits before reporting the state
+/// as-is. Bounded so a stuck query cannot pin a connection thread.
+const BLOCK_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Dispatches one request. Transport errors bubble up (the connection is
+/// closed either way); protocol-level failures are answered in-band.
+pub(crate) fn handle(
+    state: &ServerState,
+    req: &Request,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let path = req.path.trim_end_matches('/');
+    let segments: Vec<&str> = path.split('/').skip(1).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => write_response(stream, 200, "OK", "text/plain", &[], b"ok\n"),
+        ("GET", ["metrics"]) => {
+            let body = wcoj_obs::global().render_prometheus();
+            write_response(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                &[],
+                body.as_bytes(),
+            )
+        }
+        ("PUT", ["relation", name]) => put_relation(state, req, name, stream),
+        ("POST", ["query"]) => post_query(state, req, stream),
+        ("GET", ["query", id]) => match id.parse::<u64>() {
+            Ok(id) => query_status(state, req, id, stream),
+            Err(_) => error_response(stream, 404, "job ids are integers"),
+        },
+        ("GET", ["query", id, "rows"]) => match id.parse::<u64>() {
+            Ok(id) => query_rows(state, id, stream),
+            Err(_) => error_response(stream, 404, "job ids are integers"),
+        },
+        _ => error_response(stream, 404, "no such route"),
+    }
+}
+
+/// Writes a uniform JSON error body.
+pub(crate) fn error_response(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+) -> std::io::Result<()> {
+    let reason = reason_for(status);
+    let body = format!("{{\"error\":\"{}\"}}\n", json_escape(message));
+    let retry: &[(&str, String)] = if status == 429 {
+        &[("Retry-After", String::from("1"))]
+    } else {
+        &[]
+    };
+    write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        retry,
+        body.as_bytes(),
+    )
+}
+
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        410 => "Gone",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        499 => "Client Closed Request",
+        _ => "Internal Server Error",
+    }
+}
+
+/// `PUT /relation/{name}`: CSV body → relation in the catalog.
+fn put_relation(
+    state: &ServerState,
+    req: &Request,
+    name: &str,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return error_response(stream, 400, "relation names are [A-Za-z0-9_]+");
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(stream, 400, "CSV body must be UTF-8");
+    };
+    let rel = match load_csv(text, &state.dict) {
+        Ok(rel) => rel,
+        Err(e) => return error_response(stream, 400, &format!("CSV: {e}")),
+    };
+    let rows = rel.len();
+    state
+        .catalog
+        .write()
+        .expect("catalog lock")
+        .insert(name, rel);
+    let body = format!(
+        "{{\"relation\":\"{}\",\"rows\":{rows}}}\n",
+        json_escape(name)
+    );
+    write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
+/// `POST /query`: a single conjunctive query is submitted through the
+/// service for streaming; a multi-statement Datalog program runs eagerly
+/// and the last rule's result is materialized.
+fn post_query(state: &ServerState, req: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(stream, 400, "query body must be UTF-8");
+    };
+    state.metrics.queries_total.inc();
+    match parse_query(text) {
+        Ok(q) => {
+            let submitted = {
+                let catalog = state.catalog.read().expect("catalog lock");
+                submit_query(&q, &catalog)
+            };
+            match submitted {
+                Ok(pending) => {
+                    let columns = pending.columns().to_vec();
+                    let streaming = pending.incremental();
+                    let id = state.jobs.insert(Job::Pending(pending));
+                    let body = format!(
+                        "{{\"id\":{id},\"columns\":[{}],\"streaming\":{streaming}}}\n",
+                        columns_json(&columns)
+                    );
+                    write_response(
+                        stream,
+                        202,
+                        "Accepted",
+                        "application/json",
+                        &[],
+                        body.as_bytes(),
+                    )
+                }
+                Err(e) => query_error(state, stream, &e),
+            }
+        }
+        // Not a single query — maybe a program. If the program parse
+        // fails too, report *its* error (a superset grammar).
+        Err(_) => match parse_program(text) {
+            Ok(program) => {
+                let ran = {
+                    let mut catalog = state.catalog.write().expect("catalog lock");
+                    run_program(&program, &mut catalog)
+                };
+                match ran {
+                    Ok(outputs) => {
+                        let (name, last) = outputs.last().expect("programs have ≥ 1 rule");
+                        let id = state.jobs.insert(Job::Materialized {
+                            columns: last.columns.clone(),
+                            relation: last.relation.clone(),
+                        });
+                        let body = format!(
+                            "{{\"id\":{id},\"head\":\"{}\",\"rules\":{},\"columns\":[{}],\"streaming\":false}}\n",
+                            json_escape(name),
+                            outputs.len(),
+                            columns_json(&last.columns)
+                        );
+                        write_response(
+                            stream,
+                            202,
+                            "Accepted",
+                            "application/json",
+                            &[],
+                            body.as_bytes(),
+                        )
+                    }
+                    Err(e) => query_error(state, stream, &e),
+                }
+            }
+            Err(e) => query_error(state, stream, &e),
+        },
+    }
+}
+
+/// Maps a [`QueryTextError`] onto the wire, bumping the right counters.
+fn query_error(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    e: &QueryTextError,
+) -> std::io::Result<()> {
+    let status = e.http_status();
+    if status == 429 {
+        state.metrics.overloaded_total.inc();
+    } else {
+        state.metrics.errors_total.inc();
+    }
+    error_response(stream, status, &e.to_string())
+}
+
+fn columns_json(columns: &[String]) -> String {
+    columns
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// `GET /query/{id}` (+`?block=1`): the job's current state as JSON.
+fn query_status(
+    state: &ServerState,
+    req: &Request,
+    id: u64,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let deadline = Instant::now() + BLOCK_DEADLINE;
+    let block = req.query_flag("block");
+    loop {
+        // `PendingQuery` is `Send` but not `Sync`, so a blocking wait
+        // would pin the jobs lock; poll `is_finished` briefly instead.
+        let status: Option<(String, bool)> = state.jobs.with(|map| {
+            map.get(&id).map(|job| match job {
+                Job::Pending(p) => (
+                    format!(
+                        "{{\"id\":{id},\"state\":\"pending\",\"finished\":{},\"columns\":[{}],\"streaming\":{}}}\n",
+                        p.is_finished(),
+                        columns_json(p.columns()),
+                        p.incremental()
+                    ),
+                    p.is_finished(),
+                ),
+                Job::Streaming => (
+                    format!("{{\"id\":{id},\"state\":\"streaming\"}}\n"),
+                    true,
+                ),
+                Job::Done { columns, rows } => (
+                    format!(
+                        "{{\"id\":{id},\"state\":\"done\",\"columns\":[{}],\"rows\":{rows}}}\n",
+                        columns_json(columns)
+                    ),
+                    true,
+                ),
+                Job::Materialized { columns, relation } => (
+                    format!(
+                        "{{\"id\":{id},\"state\":\"done\",\"columns\":[{}],\"rows\":{}}}\n",
+                        columns_json(columns),
+                        relation.len()
+                    ),
+                    true,
+                ),
+                Job::Failed { status, message } => (
+                    format!(
+                        "{{\"id\":{id},\"state\":\"failed\",\"status\":{status},\"error\":\"{}\"}}\n",
+                        json_escape(message)
+                    ),
+                    true,
+                ),
+            })
+        });
+        match status {
+            None => return error_response(stream, 404, "no such job"),
+            Some((body, settled)) => {
+                if block && !settled && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                return write_response(stream, 200, "OK", "application/json", &[], body.as_bytes());
+            }
+        }
+    }
+}
+
+/// Records a row-stream failure in the job table and — unless chunked
+/// headers already went out (`mid_stream`) — answers with the status.
+fn fail_job(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    id: u64,
+    status: u16,
+    message: &str,
+    mid_stream: bool,
+) -> std::io::Result<()> {
+    if status == 429 {
+        state.metrics.overloaded_total.inc();
+    } else {
+        state.metrics.errors_total.inc();
+    }
+    state.jobs.with(|map| {
+        map.insert(
+            id,
+            Job::Failed {
+                status,
+                message: message.to_owned(),
+            },
+        );
+    });
+    if mid_stream {
+        Ok(())
+    } else {
+        error_response(stream, status, message)
+    }
+}
+
+/// Decodes one row to a CSV line through the shared dictionary.
+fn csv_line(state: &ServerState, row: &[wcoj_storage::Value]) -> String {
+    let mut line = String::new();
+    for (i, &v) in row.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        match state.dict.decode(v) {
+            Some(d) => {
+                use std::fmt::Write as _;
+                let _ = write!(line, "{d}");
+            }
+            None => {
+                use std::fmt::Write as _;
+                let _ = write!(line, "{}", v.0);
+            }
+        }
+    }
+    line.push('\n');
+    line
+}
+
+fn relation_csv(state: &ServerState, rel: &Relation) -> String {
+    let mut out = String::new();
+    for row in rel.iter_rows() {
+        out.push_str(&csv_line(state, row));
+    }
+    out
+}
+
+/// `GET /query/{id}/rows`: streams the result as chunked CSV. For an
+/// incrementally streamable plan each root slot's rows go out as a chunk
+/// the moment that slot settles; otherwise one merged chunk at the end.
+fn query_rows(state: &ServerState, id: u64, stream: &mut TcpStream) -> std::io::Result<()> {
+    // Take ownership of the pending query (or a terminal answer) while
+    // holding the lock only for the swap.
+    enum Fetch {
+        Pending(wcoj_query::PendingQuery),
+        Materialized(Relation),
+        Answer(u16, String),
+    }
+    let fetch = state.jobs.with(|map| match map.remove(&id) {
+        None => Fetch::Answer(404, "no such job".to_owned()),
+        Some(Job::Pending(p)) => {
+            map.insert(id, Job::Streaming);
+            Fetch::Pending(p)
+        }
+        Some(Job::Materialized { columns, relation }) => {
+            map.insert(
+                id,
+                Job::Done {
+                    columns: columns.clone(),
+                    rows: relation.len() as u64,
+                },
+            );
+            Fetch::Materialized(relation)
+        }
+        Some(job @ Job::Streaming) => {
+            map.insert(id, job);
+            Fetch::Answer(409, "rows are already being streamed".to_owned())
+        }
+        Some(job @ Job::Done { .. }) => {
+            map.insert(id, job);
+            Fetch::Answer(410, "rows were already streamed".to_owned())
+        }
+        Some(Job::Failed { status, message }) => {
+            let answer = Fetch::Answer(status, message.clone());
+            map.insert(id, Job::Failed { status, message });
+            answer
+        }
+    });
+
+    match fetch {
+        Fetch::Answer(status, message) => error_response(stream, status, &message),
+        Fetch::Materialized(relation) => {
+            let body = relation_csv(state, &relation);
+            let mut w = ChunkedWriter::start(
+                stream,
+                200,
+                "OK",
+                "text/csv",
+                &[("X-Streaming", "buffered".to_owned())],
+            )?;
+            w.chunk(body.as_bytes())?;
+            w.finish()?;
+            state.metrics.rows_streamed_total.add(relation.len() as u64);
+            Ok(())
+        }
+        Fetch::Pending(mut pending) => {
+            let columns = pending.columns().to_vec();
+            let mode = if pending.incremental() {
+                "incremental"
+            } else {
+                "buffered"
+            };
+            // The first batch decides the response shape: an error here
+            // can still be answered with a plain status; past it the
+            // chunked headers are on the wire.
+            let first = match pending.next_batch() {
+                Some(Err(e)) => {
+                    drop(pending);
+                    return fail_job(state, stream, id, e.http_status(), &e.to_string(), false);
+                }
+                other => other.map(|r| r.expect("Err handled above")),
+            };
+            let mut w = match ChunkedWriter::start(
+                stream,
+                200,
+                "OK",
+                "text/csv",
+                &[("X-Streaming", mode.to_owned())],
+            ) {
+                Ok(w) => w,
+                Err(e) => {
+                    drop(pending);
+                    let _ = fail_job(
+                        state,
+                        stream,
+                        id,
+                        499,
+                        "client disconnected before the stream started",
+                        true,
+                    );
+                    return Err(e);
+                }
+            };
+            let mut rows: u64 = 0;
+            let mut batch = first;
+            while let Some(rel) = batch {
+                let data = relation_csv(state, &rel);
+                if let Err(e) = w.chunk(data.as_bytes()) {
+                    // Client vanished mid-stream. Dropping `pending`
+                    // cancels still-queued shards and frees the
+                    // admission slot.
+                    drop(pending);
+                    let _ = fail_job(
+                        state,
+                        stream,
+                        id,
+                        499,
+                        "client disconnected mid-stream",
+                        true,
+                    );
+                    return Err(e);
+                }
+                rows += rel.len() as u64;
+                batch = match pending.next_batch() {
+                    Some(Ok(rel)) => Some(rel),
+                    None => None,
+                    Some(Err(e)) => {
+                        // Headers already sent: the only honest signal
+                        // is a truncated chunked stream (no terminator).
+                        drop(pending);
+                        return fail_job(state, stream, id, e.http_status(), &e.to_string(), true);
+                    }
+                };
+            }
+            if let Err(e) = w.finish() {
+                let _ = fail_job(
+                    state,
+                    stream,
+                    id,
+                    499,
+                    "client disconnected at stream end",
+                    true,
+                );
+                return Err(e);
+            }
+            state.metrics.rows_streamed_total.add(rows);
+            state.jobs.with(|map| {
+                map.insert(id, Job::Done { columns, rows });
+            });
+            Ok(())
+        }
+    }
+}

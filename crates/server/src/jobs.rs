@@ -1,0 +1,122 @@
+//! The server-side job table: submitted queries waiting for their rows
+//! to be fetched, keyed by a monotonically increasing id.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use wcoj_query::PendingQuery;
+use wcoj_storage::Relation;
+
+/// Oldest jobs are evicted past this many live entries, so a client that
+/// submits and never fetches cannot grow the table without bound.
+const MAX_JOBS: usize = 256;
+
+/// One submitted query's lifecycle.
+pub enum Job {
+    /// Submitted; rows not yet requested. Holds the live handle — if the
+    /// job is evicted or the table dropped, the handle's drop cancels
+    /// any still-queued shards and frees the admission slot.
+    Pending(PendingQuery),
+    /// A `/rows` fetch is in progress on some connection thread; a
+    /// second concurrent fetch is refused (`409`).
+    Streaming,
+    /// Rows were streamed to completion.
+    Done {
+        /// Head column names, for the status endpoint.
+        columns: Vec<String>,
+        /// Total rows that went over the wire.
+        rows: u64,
+    },
+    /// Result already materialized in-process (Datalog programs run
+    /// eagerly); `/rows` serves it as a single chunk.
+    Materialized {
+        /// Head column names of the final rule.
+        columns: Vec<String>,
+        /// The final rule's result.
+        relation: Relation,
+    },
+    /// The query (or its row stream) failed.
+    Failed {
+        /// HTTP status the failure maps to.
+        status: u16,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Concurrent job table. A plain mutexed map: every operation is a quick
+/// insert/replace — the long-running row streaming happens *outside* the
+/// lock after swapping the job to [`Job::Streaming`].
+pub struct Jobs {
+    next_id: AtomicU64,
+    map: Mutex<BTreeMap<u64, Job>>,
+}
+
+impl Default for Jobs {
+    fn default() -> Self {
+        Jobs::new()
+    }
+}
+
+impl Jobs {
+    /// An empty table; ids start at 1.
+    #[must_use]
+    pub fn new() -> Jobs {
+        Jobs {
+            next_id: AtomicU64::new(1),
+            map: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Inserts a job, returning its id. Evicts the oldest entries past
+    /// the cap (dropping an evicted [`Job::Pending`] cancels it).
+    pub fn insert(&self, job: Job) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("jobs mutex");
+        map.insert(id, job);
+        while map.len() > MAX_JOBS {
+            let oldest = *map.keys().next().expect("non-empty past cap");
+            map.remove(&oldest);
+        }
+        id
+    }
+
+    /// Runs `f` on the locked map (lookups, state swaps). Keep `f` quick.
+    pub fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<u64, Job>) -> R) -> R {
+        f(&mut self.map.lock().expect("jobs mutex"))
+    }
+
+    /// Number of live jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("jobs mutex").len()
+    }
+
+    /// `true` when no jobs are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_drops_the_oldest_jobs() {
+        let jobs = Jobs::new();
+        let first = jobs.insert(Job::Done {
+            columns: vec![],
+            rows: 0,
+        });
+        for _ in 0..MAX_JOBS {
+            jobs.insert(Job::Done {
+                columns: vec![],
+                rows: 0,
+            });
+        }
+        assert_eq!(jobs.len(), MAX_JOBS);
+        assert!(jobs.with(|m| !m.contains_key(&first)), "oldest evicted");
+    }
+}

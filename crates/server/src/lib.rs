@@ -1,0 +1,272 @@
+//! # wcoj-server
+//!
+//! A std-only TCP/HTTP front end over the shared query service: a
+//! blocking accept loop on [`std::net::TcpListener`] with a small pool
+//! of connection threads, speaking just enough HTTP/1.1 for the query
+//! protocol. No async runtime, no external crates.
+//!
+//! ## Endpoints
+//!
+//! | method & path           | purpose                                           |
+//! |-------------------------|---------------------------------------------------|
+//! | `PUT /relation/{name}`  | load a CSV body as a named relation               |
+//! | `POST /query`           | submit a text query (streamed) or Datalog program |
+//! | `GET /query/{id}`       | job status; `?block=1` waits until settled        |
+//! | `GET /query/{id}/rows`  | fetch rows as chunked CSV, incrementally when the plan allows |
+//! | `GET /metrics`          | Prometheus exposition of the global registry      |
+//! | `GET /healthz`          | liveness probe                                    |
+//!
+//! ## Streaming model
+//!
+//! Shard reassembly in the service is slot-ordered: output slots
+//! partition the result into disjoint `(root, anchor)` rectangles in
+//! ascending slot order. When the plan's total order starts with the
+//! output schema (so concatenating settled slots reproduces the final
+//! output byte-for-byte — `PreparedQuery::slots_stream_sorted`), each
+//! root slot's rows go out as an HTTP chunk the moment that slot
+//! settles, *before* later shards finish. Otherwise rows are merged and
+//! sent as one chunk; the `X-Streaming` response header says which mode
+//! was used.
+//!
+//! ## Status mapping
+//!
+//! Admission rejections (`SubmitError::Overloaded`) surface as `429`
+//! with `Retry-After`; parse failures as `400`; unknown relations as
+//! `404`; protocol edge cases per [`http::RequestError`].
+
+mod config;
+mod handlers;
+pub mod http;
+mod jobs;
+
+pub use config::{ServerConfig, DEFAULT_BIND};
+pub use jobs::{Job, Jobs};
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+use wcoj_obs::{Counter, Histogram};
+use wcoj_query::Catalog;
+use wcoj_service::Service;
+use wcoj_storage::Dictionary;
+
+/// Server-side counters/histograms, registered once in the global
+/// observability registry (shared with the service's own metrics, so
+/// `GET /metrics` exposes both).
+pub struct ServerMetrics {
+    /// Requests read and dispatched (any route, any outcome).
+    pub requests_total: Arc<Counter>,
+    /// `POST /query` submissions (accepted or not).
+    pub queries_total: Arc<Counter>,
+    /// Requests answered with a non-overload error status.
+    pub errors_total: Arc<Counter>,
+    /// Submissions shed with `429` at the HTTP layer.
+    pub overloaded_total: Arc<Counter>,
+    /// Result rows that went over the wire.
+    pub rows_streamed_total: Arc<Counter>,
+    /// End-to-end request latency in microseconds (read → response).
+    pub request_us: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    /// The process-wide instance (idempotent registration).
+    pub fn global() -> &'static ServerMetrics {
+        static INSTANCE: OnceLock<ServerMetrics> = OnceLock::new();
+        INSTANCE.get_or_init(|| {
+            let reg = wcoj_obs::global();
+            ServerMetrics {
+                requests_total: reg.counter(
+                    "wcoj_server_http_requests_total",
+                    "HTTP requests dispatched",
+                ),
+                queries_total: reg.counter(
+                    "wcoj_server_queries_total",
+                    "query submissions via POST /query",
+                ),
+                errors_total: reg.counter(
+                    "wcoj_server_http_errors_total",
+                    "requests answered with a non-429 error status",
+                ),
+                overloaded_total: reg.counter(
+                    "wcoj_server_http_overloaded_total",
+                    "submissions shed with HTTP 429",
+                ),
+                rows_streamed_total: reg.counter(
+                    "wcoj_server_rows_streamed_total",
+                    "result rows streamed to clients",
+                ),
+                request_us: reg.histogram(
+                    "wcoj_server_request_us",
+                    "end-to-end HTTP request latency (microseconds)",
+                ),
+            }
+        })
+    }
+}
+
+/// Everything the connection threads share.
+pub(crate) struct ServerState {
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) dict: Arc<Dictionary>,
+    pub(crate) jobs: Jobs,
+    pub(crate) metrics: &'static ServerMetrics,
+}
+
+/// A running server: the bound listener plus its connection threads.
+/// Dropping it shuts the threads down and cancels any jobs still
+/// pending in the table.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `cfg.bind` and starts serving a fresh catalog routed
+    /// through a new [`Service`] built from `cfg.service`.
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let service = Arc::new(Service::new(cfg.service.clone()));
+        let mut catalog = Catalog::new();
+        catalog.set_service(Some(service));
+        Server::start_with(cfg, catalog)
+    }
+
+    /// Binds `cfg.bind` and serves `catalog` as-is — the caller decides
+    /// whether (and how) a service is attached, and may keep its own
+    /// handle on that service for inspection.
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn start_with(cfg: ServerConfig, catalog: Catalog) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(ServerState {
+            dict: catalog.dictionary_handle(),
+            catalog: RwLock::new(catalog),
+            jobs: Jobs::new(),
+            metrics: ServerMetrics::global(),
+        });
+        let mut threads = Vec::with_capacity(cfg.conn_threads);
+        for i in 0..cfg.conn_threads {
+            let listener = listener.try_clone()?;
+            let shutdown = Arc::clone(&shutdown);
+            let state = Arc::clone(&state);
+            let cfg = cfg.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("wcoj-http-{i}"))
+                    .spawn(move || accept_loop(&listener, &shutdown, &state, &cfg))
+                    .expect("spawn connection thread"),
+            );
+        }
+        Ok(Server {
+            addr,
+            shutdown,
+            threads,
+            state,
+        })
+    }
+
+    /// The actually bound address (resolves port `0`).
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Live entries in the job table (for tests and introspection).
+    #[must_use]
+    pub fn jobs_len(&self) -> usize {
+        self.state.jobs.len()
+    }
+
+    /// Stops accepting, wakes every connection thread, and joins them.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // A blocked `accept` only wakes on a connection: poke one per
+        // thread. Failures are fine — a thread mid-request re-checks the
+        // flag before the next accept.
+        for _ in 0..self.threads.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    state: &ServerState,
+    cfg: &ServerConfig,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((mut stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(cfg.read_timeout);
+        let _ = stream.set_nodelay(true);
+        serve_connection(state, &mut stream, cfg);
+        // Connection: close on every response — just drop the stream.
+    }
+}
+
+/// Reads and answers one request (the server is `Connection: close`).
+fn serve_connection(state: &ServerState, stream: &mut TcpStream, cfg: &ServerConfig) {
+    let started = Instant::now();
+    match http::read_request(stream, cfg.max_header_bytes, cfg.max_body_bytes) {
+        Ok(req) => {
+            state.metrics.requests_total.inc();
+            let _ = handlers::handle(state, &req, stream);
+            state
+                .metrics
+                .request_us
+                .observe_duration_us(started.elapsed());
+        }
+        Err(e) => {
+            if let Some((status, _reason, message)) = e.status() {
+                state.metrics.requests_total.inc();
+                state.metrics.errors_total.inc();
+                let _ = handlers::error_response(stream, status, &message);
+                // Lingering close: the request was refused *before*
+                // reading everything the client sent (oversized
+                // headers, refused body). Closing with unread bytes in
+                // the receive buffer would RST the connection and can
+                // discard the in-flight error response — drain
+                // (bounded by the read timeout and a byte cap) first.
+                use std::io::Read as _;
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut sink = [0u8; 1024];
+                let mut drained = 0;
+                while drained < 64 * 1024 {
+                    match stream.read(&mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => drained += n,
+                    }
+                }
+            }
+            // Disconnected / transport errors: nothing to answer.
+        }
+    }
+}

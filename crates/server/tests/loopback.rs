@@ -1,0 +1,515 @@
+//! Loopback tests: a real server on `127.0.0.1:0`, raw `TcpStream`
+//! clients, no HTTP library on either side. Pins the protocol edge
+//! cases (431/411/413/408/400, truncated requests, mid-stream
+//! disconnects) and the full query round trip.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wcoj_core::nprr::PreparedQuery;
+use wcoj_query::Catalog;
+use wcoj_server::{Server, ServerConfig};
+use wcoj_service::{Service, ServiceConfig};
+use wcoj_storage::TrieIndex;
+
+// ---------------------------------------------------------------- client
+
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    /// `true` iff the response was chunked and the terminating
+    /// zero-chunk never arrived (the server aborted mid-stream).
+    truncated: bool,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("UTF-8 body")
+    }
+}
+
+fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("send request");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read response");
+    out
+}
+
+fn parse_response(raw: &[u8]) -> Response {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("UTF-8 head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').expect("header line");
+            (k.to_ascii_lowercase(), v.trim().to_owned())
+        })
+        .collect();
+    let raw_body = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v == "chunked");
+    if !chunked {
+        return Response {
+            status,
+            headers,
+            body: raw_body.to_vec(),
+            truncated: false,
+        };
+    }
+    // Dechunk; a missing zero-chunk terminator marks truncation.
+    let mut body = Vec::new();
+    let mut rest = raw_body;
+    let truncated = loop {
+        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+            break true;
+        };
+        let size_hex = std::str::from_utf8(&rest[..line_end]).expect("chunk size");
+        let size = usize::from_str_radix(size_hex.trim(), 16).expect("hex chunk size");
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            break false;
+        }
+        if rest.len() < size + 2 {
+            break true;
+        }
+        body.extend_from_slice(&rest[..size]);
+        rest = &rest[size + 2..];
+    };
+    Response {
+        status,
+        headers,
+        body,
+        truncated,
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Response {
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\n");
+    if let Some(body) = body {
+        req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    req.push_str("\r\n");
+    if let Some(body) = body {
+        req.push_str(body);
+    }
+    parse_response(&send_raw(addr, req.as_bytes()))
+}
+
+// --------------------------------------------------------------- servers
+
+fn small_caps_server() -> Server {
+    let cfg = ServerConfig {
+        bind: "127.0.0.1:0".parse().unwrap(),
+        conn_threads: 2,
+        read_timeout: Some(Duration::from_millis(300)),
+        max_header_bytes: 1024,
+        max_body_bytes: 2048,
+        ..ServerConfig::default()
+    };
+    Server::start_with(cfg, Catalog::new()).expect("bind loopback")
+}
+
+/// A server whose catalog routes through a caller-held 1-worker service
+/// with `shard_min_size: 1`, so even small relations shard into multiple
+/// root slots (the incremental-streaming and cancellation scenarios).
+fn streaming_server(queue_depth: usize) -> (Server, Arc<Service>) {
+    let service = Arc::new(Service::new(ServiceConfig {
+        exec: wcoj_exec::ExecConfig {
+            shard_min_size: 1,
+            ..wcoj_exec::ExecConfig::default()
+        },
+        queue_depth,
+        ..ServiceConfig::with_workers(1)
+    }));
+    let mut catalog = Catalog::new();
+    catalog.set_service(Some(Arc::clone(&service)));
+    let cfg = ServerConfig {
+        bind: "127.0.0.1:0".parse().unwrap(),
+        conn_threads: 3,
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with(cfg, catalog).expect("bind loopback");
+    (server, service)
+}
+
+/// A 5-cycle whose engine run takes tens of milliseconds while its
+/// submission costs microseconds — occupies the single worker so slots
+/// of a concurrently submitted query settle one at a time.
+fn blocker(seed: u64) -> Arc<PreparedQuery<TrieIndex>> {
+    let rels = wcoj_datagen::cycle_instance(seed, 5, 200, 15);
+    Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap())
+}
+
+fn edge_csv(rows: usize) -> String {
+    // Deterministic LCG pairs with plenty of distinct roots, so a
+    // `shard_min_size: 1` plan splits into multiple root slots.
+    let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut csv = String::new();
+    for _ in 0..rows {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = (x >> 33) % 40;
+        let b = (x >> 13) % 40;
+        csv.push_str(&format!("{a},{b}\n"));
+    }
+    csv
+}
+
+/// What the server should stream: the same CSV loaded into a fresh
+/// local catalog and executed sequentially.
+fn expected_csv(csv: &str, query: &str) -> (Vec<String>, String) {
+    let mut catalog = Catalog::new();
+    let rel = wcoj_query::load_csv(csv, catalog.dictionary()).unwrap();
+    catalog.insert("E", rel);
+    let q = wcoj_query::parse_query(query).unwrap();
+    let result = wcoj_query::execute(&q, &catalog).unwrap();
+    let mut body = String::new();
+    for row in result.decoded_rows(&catalog) {
+        let line: Vec<String> = row.iter().map(|d| format!("{d}")).collect();
+        body.push_str(&line.join(","));
+        body.push('\n');
+    }
+    (result.columns, body)
+}
+
+// ----------------------------------------------------------- edge cases
+
+#[test]
+fn malformed_requests_map_to_precise_statuses() {
+    let server = small_caps_server();
+    let addr = server.addr();
+
+    // Garbage request line.
+    let r = parse_response(&send_raw(addr, b"how about no\r\n\r\n"));
+    assert_eq!(r.status, 400, "{}", r.text());
+
+    // Lowercase method token.
+    let r = parse_response(&send_raw(addr, b"get /healthz HTTP/1.1\r\n\r\n"));
+    assert_eq!(r.status, 400);
+
+    // Relative target.
+    let r = parse_response(&send_raw(addr, b"GET healthz HTTP/1.1\r\n\r\n"));
+    assert_eq!(r.status, 400);
+
+    // Oversized headers: past the 1 KiB cap → 431.
+    let mut big = String::from("GET /healthz HTTP/1.1\r\n");
+    big.push_str(&format!("X-Padding: {}\r\n\r\n", "x".repeat(4096)));
+    let r = parse_response(&send_raw(addr, big.as_bytes()));
+    assert_eq!(r.status, 431);
+
+    // POST without Content-Length → 411.
+    let r = parse_response(&send_raw(
+        addr,
+        b"POST /query HTTP/1.1\r\n\r\nq(x) :- E(x).",
+    ));
+    assert_eq!(r.status, 411);
+
+    // Content-Length past the 2 KiB body cap → 413, refused up front.
+    let r = parse_response(&send_raw(
+        addr,
+        b"POST /query HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n",
+    ));
+    assert_eq!(r.status, 413);
+
+    // Body shorter than Content-Length (half-closed) → 400.
+    let r = parse_response(&send_raw(
+        addr,
+        b"POST /query HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+    ));
+    assert_eq!(r.status, 400);
+
+    // Malformed Content-Length → 400.
+    let r = parse_response(&send_raw(
+        addr,
+        b"POST /query HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+    ));
+    assert_eq!(r.status, 400);
+
+    // And after all that abuse the server still serves.
+    let r = request(addr, "GET", "/healthz", None);
+    assert_eq!(r.status, 200);
+    assert_eq!(r.text(), "ok\n");
+}
+
+#[test]
+fn stalled_and_truncated_requests_do_not_pin_connection_threads() {
+    let server = small_caps_server();
+    let addr = server.addr();
+
+    // A client that connects, sends half a request line, and stalls: the
+    // 300 ms read timeout answers 408 instead of pinning the thread.
+    let mut stall = TcpStream::connect(addr).unwrap();
+    stall.write_all(b"GET /healthz HT").unwrap();
+    let mut out = Vec::new();
+    stall.read_to_end(&mut out).unwrap();
+    let r = parse_response(&out);
+    assert_eq!(r.status, 408);
+
+    // A truncated request (bytes then FIN mid-headers) gets a
+    // best-effort 400 and the *next* connection is served normally.
+    let r = parse_response(&send_raw(addr, b"GET /healthz HTTP/1.1\r\nX-Trunc: ye"));
+    assert_eq!(r.status, 400);
+    let r = request(addr, "GET", "/healthz", None);
+    assert_eq!(r.status, 200);
+
+    // A silent connect-and-close is a non-event, not an error.
+    drop(TcpStream::connect(addr).unwrap());
+    let r = request(addr, "GET", "/metrics", None);
+    assert_eq!(r.status, 200);
+    wcoj_obs::check_exposition(r.text()).expect("valid exposition");
+}
+
+// ------------------------------------------------------------ round trip
+
+#[test]
+fn query_protocol_round_trip() {
+    let server = small_caps_server();
+    let addr = server.addr();
+
+    // Load a relation from CSV.
+    let csv = "1,2\n2,3\n3,4\n2,4\n";
+    let r = request(addr, "PUT", "/relation/E", Some(csv));
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("\"rows\":4"), "{}", r.text());
+
+    // Unknown relations are 404, parse failures 400.
+    let r = request(addr, "POST", "/query", Some("q(x) :- Nope(x, y)."));
+    assert_eq!(r.status, 404, "{}", r.text());
+    let r = request(addr, "POST", "/query", Some("q(x :- E(x, y)."));
+    assert_eq!(r.status, 400, "{}", r.text());
+    let r = request(addr, "GET", "/query/999/rows", None);
+    assert_eq!(r.status, 404);
+    let r = request(addr, "GET", "/query/bogus", None);
+    assert_eq!(r.status, 404);
+    let r = request(addr, "PUT", "/relation/no%20good", Some("1\n"));
+    assert_eq!(r.status, 400);
+
+    // Submit a join; the job settles and ?block=1 reports it.
+    let query = "path(x, z) :- E(x, y), E(y, z).";
+    let r = request(addr, "POST", "/query", Some(query));
+    assert_eq!(r.status, 202, "{}", r.text());
+    let id = extract_id(r.text());
+    let r = request(addr, "GET", &format!("/query/{id}?block=1"), None);
+    assert_eq!(r.status, 200);
+    assert!(r.text().contains("\"finished\":true"), "{}", r.text());
+
+    // Rows match a local sequential execution of the same query.
+    let (columns, expected) = {
+        let mut catalog = Catalog::new();
+        let rel = wcoj_query::load_csv(csv, catalog.dictionary()).unwrap();
+        catalog.insert("E", rel);
+        let q = wcoj_query::parse_query(query).unwrap();
+        let result = wcoj_query::execute(&q, &catalog).unwrap();
+        let mut body = String::new();
+        for row in result.decoded_rows(&catalog) {
+            let line: Vec<String> = row.iter().map(|d| format!("{d}")).collect();
+            body.push_str(&line.join(","));
+            body.push('\n');
+        }
+        (result.columns, body)
+    };
+    assert_eq!(columns, vec!["x".to_owned(), "z".to_owned()]);
+    let r = request(addr, "GET", &format!("/query/{id}/rows"), None);
+    assert_eq!(r.status, 200);
+    assert!(!r.truncated);
+    assert_eq!(r.text(), expected);
+
+    // Fetching again is 410: the stream was consumed.
+    let r = request(addr, "GET", &format!("/query/{id}/rows"), None);
+    assert_eq!(r.status, 410);
+    let r = request(addr, "GET", &format!("/query/{id}"), None);
+    assert!(r.text().contains("\"state\":\"done\""), "{}", r.text());
+
+    // A multi-rule Datalog program runs eagerly; its last rule's rows
+    // are served as one buffered chunk.
+    let program = "two(x, z) :- E(x, y), E(y, z). out(z) :- two(x, z).";
+    let r = request(addr, "POST", "/query", Some(program));
+    assert_eq!(r.status, 202, "{}", r.text());
+    assert!(r.text().contains("\"streaming\":false"), "{}", r.text());
+    let pid = extract_id(r.text());
+    let r = request(addr, "GET", &format!("/query/{pid}/rows"), None);
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-streaming"), Some("buffered"));
+    let mut got: Vec<&str> = r.text().lines().collect();
+    got.sort_unstable();
+    assert_eq!(got, vec!["3", "4"]);
+}
+
+fn extract_id(json: &str) -> u64 {
+    let tail = json.split("\"id\":").nth(1).expect("id field");
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric id")
+}
+
+// ------------------------------------------------- streaming edge cases
+
+#[test]
+fn concurrent_rows_fetches_conflict_then_settle() {
+    let (server, service) = streaming_server(0);
+    let addr = server.addr();
+    let csv = edge_csv(200);
+    let query = "q(x, y) :- E(x, y).";
+    let (_, expected) = expected_csv(&csv, query);
+
+    let r = request(addr, "PUT", "/relation/E", Some(&csv));
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    // Occupy the single worker so the streamed query's slots settle
+    // one by one behind the blocker's shards.
+    let heavy = blocker(23);
+    let guard = service
+        .submit_with_cover(&heavy, None, &service.exec_config())
+        .unwrap();
+
+    let r = request(addr, "POST", "/query", Some(query));
+    assert_eq!(r.status, 202, "{}", r.text());
+    assert!(r.text().contains("\"streaming\":true"), "{}", r.text());
+    let id = extract_id(r.text());
+
+    // Connection A starts the row fetch (blocks server-side on the
+    // first slot); once dispatched, a second fetch must be refused.
+    let reader = std::thread::spawn({
+        let path = format!("/query/{id}/rows");
+        move || request(addr, "GET", &path, None)
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = request(addr, "GET", &format!("/query/{id}"), None);
+        assert_eq!(r.status, 200);
+        if r.text().contains("\"state\":\"streaming\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started streaming");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let r = request(addr, "GET", &format!("/query/{id}/rows"), None);
+    assert_eq!(r.status, 409, "{}", r.text());
+
+    // Free the worker; A's stream completes bit-identically to the
+    // sequential run, and a later fetch is 410.
+    drop(guard);
+    let streamed = reader.join().expect("reader thread");
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed.header("x-streaming"), Some("incremental"));
+    assert!(!streamed.truncated);
+    assert_eq!(streamed.text(), expected);
+    let r = request(addr, "GET", &format!("/query/{id}/rows"), None);
+    assert_eq!(r.status, 410);
+}
+
+#[test]
+fn mid_stream_disconnect_cancels_and_frees_the_admission_slot() {
+    let (server, service) = streaming_server(0);
+    let addr = server.addr();
+    let csv = edge_csv(200);
+
+    let r = request(addr, "PUT", "/relation/E", Some(&csv));
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    let heavy = blocker(29);
+    let guard = service
+        .submit_with_cover(&heavy, None, &service.exec_config())
+        .unwrap();
+    let base = service.counters().cancelled;
+
+    let r = request(addr, "POST", "/query", Some("q(x, y) :- E(x, y)."));
+    assert_eq!(r.status, 202, "{}", r.text());
+    let id = extract_id(r.text());
+
+    // Read the response headers + first chunk, then vanish. The
+    // server's next chunk write fails, which must drop the pending
+    // query — cancelling its remaining slots and freeing the admission
+    // slot — rather than leak it.
+    let mut victim = TcpStream::connect(addr).unwrap();
+    victim
+        .write_all(format!("GET /query/{id}/rows HTTP/1.1\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut first = [0u8; 512];
+    let n = victim.read(&mut first).unwrap();
+    assert!(n > 0, "headers never arrived");
+    drop(victim);
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if service.counters().cancelled > base {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled the query: {:?}",
+            service.counters()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let r = request(addr, "GET", &format!("/query/{id}"), None);
+    assert!(
+        r.text().contains("\"state\":\"failed\"") && r.text().contains("499"),
+        "{}",
+        r.text()
+    );
+
+    // Everything drains: no leaked in-flight query, and the skipped
+    // shard tasks show the cancellation actually saved pool time.
+    drop(guard);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let c = service.counters();
+        if c.in_flight == 0 && c.queued_tasks == 0 {
+            assert!(c.skipped_tasks >= 1, "{c:?}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "service never drained: {c:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn overload_maps_to_429_with_retry_after() {
+    let (server, service) = streaming_server(2);
+    let addr = server.addr();
+    let r = request(addr, "PUT", "/relation/E", Some(&edge_csv(200)));
+    assert_eq!(r.status, 200);
+
+    // Fill both admission slots with blockers submitted out-of-band.
+    let g1 = service
+        .submit_with_cover(&blocker(31), None, &service.exec_config())
+        .unwrap();
+    let g2 = service
+        .submit_with_cover(&blocker(37), None, &service.exec_config())
+        .unwrap();
+
+    let shed_before = service.counters().shed;
+    let r = request(addr, "POST", "/query", Some("q(x, y) :- E(x, y)."));
+    assert_eq!(r.status, 429, "{}", r.text());
+    assert_eq!(r.header("retry-after"), Some("1"));
+    assert_eq!(service.counters().shed, shed_before + 1);
+
+    drop(g1);
+    drop(g2);
+}

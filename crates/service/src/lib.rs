@@ -712,6 +712,10 @@ struct JobState {
     cancelled: AtomicBool,
     done: Mutex<bool>,
     done_ready: Condvar,
+    /// Signalled (paired with the `slots` mutex) every time a slot
+    /// settles — the [`RowStream`] subscription point, woken per shard
+    /// instead of only at the final [`JobState::notify_done`].
+    slot_ready: Condvar,
 }
 
 impl JobState {
@@ -723,6 +727,7 @@ impl JobState {
             cancelled: AtomicBool::new(false),
             done: Mutex::new(false),
             done_ready: Condvar::new(),
+            slot_ready: Condvar::new(),
         }
     }
 
@@ -732,12 +737,21 @@ impl JobState {
     /// time `wait()` returns, the admission slot is released and the
     /// counters have settled.
     fn complete(&self, index: usize, result: Option<ShardResult>) -> bool {
-        if let Some(result) = result {
-            self.slots
+        {
+            // Both the slot write and the poison mark happen under the
+            // slots mutex, and the per-slot condvar is notified inside
+            // the same critical section: a RowStream waiter checking its
+            // slot can never miss the wakeup (it either sees the new
+            // state or is already parked when the notify fires).
+            let mut slots = self
+                .slots
                 .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)[index] = Some(result);
-        } else {
-            self.poisoned.store(true, Ordering::Release);
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match result {
+                Some(result) => slots[index] = Some(result),
+                None => self.poisoned.store(true, Ordering::Release),
+            }
+            self.slot_ready.notify_all();
         }
         self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
     }
@@ -776,6 +790,11 @@ pub struct QueryHandle {
     inner: Option<HandleInner>,
 }
 
+/// Converts one settled slot's raw rows into a standalone [`Relation`]
+/// (sorted + deduplicated within the slot). Shared by every batch of a
+/// [`RowStream`], hence `Fn`, not `FnOnce`.
+type SlotAssemble = Box<dyn Fn(Vec<Vec<Value>>) -> Result<Relation, QueryError> + Send>;
+
 enum HandleInner {
     /// Resolved at submit time (empty input, zero-shard plan). Boxed so
     /// the common `Pending` variant stays small.
@@ -786,6 +805,11 @@ enum HandleInner {
         injector: Arc<Injector>,
         profile: Arc<ProfileState>,
         assemble: Box<dyn FnOnce() -> Result<JoinOutput, QueryError> + Send>,
+        slot_assemble: SlotAssemble,
+        /// Concatenating per-slot batches in slot order reproduces the
+        /// full output byte-for-byte (see
+        /// [`PreparedQuery::slots_stream_sorted`]).
+        ordered: bool,
     },
 }
 
@@ -865,6 +889,58 @@ impl QueryHandle {
             }
         }
     }
+
+    /// Turns the handle into an **incremental** subscription: each call
+    /// to [`RowStream::next_batch`] blocks only until the *next* slot
+    /// settles and yields that slot's rows as a standalone sorted,
+    /// deduplicated [`Relation`] — a front end can push early shards to
+    /// the client while the pool is still running later ones.
+    ///
+    /// Slot rectangles partition the output (disjoint `(root, anchor)`
+    /// ranges), so concatenating every batch and running one final
+    /// `sort_dedup` always reproduces [`wait`](QueryHandle::wait)'s
+    /// relation exactly. When [`RowStream::ordered`] is `true` even the
+    /// final sort is unnecessary: plain concatenation in batch order is
+    /// already the full output, byte for byte.
+    ///
+    /// Dropping the stream before draining it cancels the query exactly
+    /// like dropping an unwaited handle would.
+    #[must_use]
+    pub fn into_stream(mut self) -> RowStream {
+        match self.inner.take().expect("handle consumed exactly once") {
+            HandleInner::Ready(ready) => RowStream {
+                inner: StreamInner::Ready(Some(ready.0)),
+                next_slot: 0,
+                total_slots: 1,
+                ordered: true,
+            },
+            HandleInner::Pending {
+                state,
+                injector,
+                profile,
+                slot_assemble,
+                ordered,
+                ..
+            } => {
+                let total_slots = state
+                    .slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len();
+                RowStream {
+                    inner: StreamInner::Pending {
+                        state,
+                        injector,
+                        profile,
+                        convert: slot_assemble,
+                    },
+                    next_slot: 0,
+                    total_slots,
+                    ordered,
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Debug for QueryHandle {
@@ -896,6 +972,163 @@ impl Drop for QueryHandle {
             state.cancelled.store(true, Ordering::Release);
             if state.remaining.load(Ordering::Acquire) > 0 {
                 injector.note_cancelled(profile.query_id);
+            }
+        }
+    }
+}
+
+/// One settled slot's output, yielded by [`RowStream::next_batch`].
+#[derive(Debug)]
+pub struct RowBatch {
+    /// The slot (= shard = root-rectangle) index this batch came from.
+    /// Batches arrive in strictly ascending slot order.
+    pub slot: usize,
+    /// The slot's rows, sorted and deduplicated within the slot.
+    pub relation: Relation,
+}
+
+enum StreamInner {
+    /// Degenerate submit-time resolution: one synthetic batch.
+    Ready(Option<Result<JoinOutput, QueryError>>),
+    Pending {
+        state: Arc<JobState>,
+        injector: Arc<Injector>,
+        profile: Arc<ProfileState>,
+        convert: SlotAssemble,
+    },
+}
+
+/// An incremental subscription to a running query, made by
+/// [`QueryHandle::into_stream`]. Yields one [`RowBatch`] per slot, in
+/// slot order, each as soon as that slot settles — the streaming hook
+/// the HTTP front end's chunked `/query/{id}/rows` endpoint rides on.
+pub struct RowStream {
+    inner: StreamInner,
+    next_slot: usize,
+    total_slots: usize,
+    ordered: bool,
+}
+
+impl RowStream {
+    /// `true` iff concatenating the batches in arrival order reproduces
+    /// the full query output byte-for-byte (the prepared total order
+    /// already matches the output schema). When `false` the consumer
+    /// must merge: concatenate all batches, then sort + dedup once.
+    #[must_use]
+    pub fn ordered(&self) -> bool {
+        self.ordered
+    }
+
+    /// Number of batches the stream will yield in total.
+    #[must_use]
+    pub fn total_slots(&self) -> usize {
+        self.total_slots
+    }
+
+    /// Batches already yielded by [`next_batch`](RowStream::next_batch).
+    #[must_use]
+    pub fn slots_emitted(&self) -> usize {
+        self.next_slot
+    }
+
+    /// `true` iff every shard has already drained on the pool —
+    /// remaining `next_batch` calls will not block.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            StreamInner::Ready(..) => true,
+            StreamInner::Pending { state, .. } => state.remaining.load(Ordering::Acquire) == 0,
+        }
+    }
+
+    /// Blocks until **every** shard has drained (without consuming any
+    /// batches) — the poll-with-block endpoint's primitive.
+    pub fn wait_settled(&self) {
+        if let StreamInner::Pending { state, .. } = &self.inner {
+            state.wait();
+        }
+    }
+
+    /// Blocks until the next slot settles and yields its rows; `None`
+    /// once every slot has been yielded.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors (degenerate submissions only — shard
+    /// evaluation itself is infallible once admitted; worker *panics*
+    /// re-raise here, see below).
+    ///
+    /// # Panics
+    /// If a pool worker panicked while running one of this query's
+    /// shards (mirrors [`QueryHandle::wait`]).
+    pub fn next_batch(&mut self) -> Option<Result<RowBatch, QueryError>> {
+        if self.next_slot >= self.total_slots {
+            return None;
+        }
+        let slot = self.next_slot;
+        match &mut self.inner {
+            StreamInner::Ready(result) => {
+                self.next_slot += 1;
+                let result = result.take().expect("ready batch yielded exactly once");
+                Some(result.map(|out| RowBatch {
+                    slot,
+                    relation: out.relation,
+                }))
+            }
+            StreamInner::Pending { state, convert, .. } => {
+                let mut slots = state
+                    .slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let rows = loop {
+                    assert!(
+                        !state.poisoned.load(Ordering::Acquire),
+                        "a service worker panicked while running a shard of this query"
+                    );
+                    if let Some((rows, _stats)) = slots[slot].take() {
+                        break rows;
+                    }
+                    slots = state
+                        .slot_ready
+                        .wait(slots)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                };
+                drop(slots);
+                self.next_slot += 1;
+                Some(convert(rows).map(|relation| RowBatch { slot, relation }))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RowStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RowStream({}/{} slots emitted, ordered: {})",
+            self.next_slot, self.total_slots, self.ordered
+        )
+    }
+}
+
+impl Drop for RowStream {
+    /// Abandoning a partially drained stream cancels the query, exactly
+    /// like dropping an unwaited [`QueryHandle`]: workers skip the
+    /// remaining shards, the admission slot frees as the ring drains. A
+    /// client that disconnects mid-stream therefore cannot leak pool
+    /// capacity.
+    fn drop(&mut self) {
+        if let StreamInner::Pending {
+            state,
+            injector,
+            profile,
+            ..
+        } = &self.inner
+        {
+            if self.next_slot < self.total_slots {
+                state.cancelled.store(true, Ordering::Release);
+                if state.remaining.load(Ordering::Acquire) > 0 {
+                    injector.note_cancelled(profile.query_id);
+                }
             }
         }
     }
@@ -1392,6 +1625,8 @@ impl Service {
         // every shard only *after* `submitted` already reads right.
         self.injector.push_ring(query_id, ring);
 
+        let ordered = prepared.slots_stream_sorted();
+        let slot_prepared = Arc::clone(prepared);
         let prepared = Arc::clone(prepared);
         let stats = base_stats(log2_bound, &x);
         let assemble_state = Arc::clone(&state);
@@ -1401,6 +1636,8 @@ impl Service {
                 state: Arc::clone(&state),
                 injector: Arc::clone(&self.injector),
                 profile: Arc::clone(&profile),
+                slot_assemble: Box::new(move |rows| slot_prepared.assemble_slot(rows)),
+                ordered,
                 assemble: Box::new(move || {
                     let state = assemble_state;
                     state.wait();
@@ -2181,5 +2418,168 @@ mod tests {
             handle = service.submit(&prepared, &cfg).unwrap();
         } // service dropped here
         assert_eq!(handle.wait().unwrap().relation, seq.relation);
+    }
+
+    #[test]
+    fn row_stream_concatenates_in_order_for_a_canonical_total_order() {
+        let service = Service::new(ServiceConfig::with_workers(3));
+        // A single-atom query keeps the identity total order, so slot
+        // batches concatenate to the output with no final sort.
+        let rels = [wcoj_datagen::random_relation(5, &[0, 1], 150, 14)];
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let expected = service
+            .submit(&prepared, &cfg)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .relation;
+
+        let mut stream = service.submit(&prepared, &cfg).unwrap().into_stream();
+        assert!(stream.ordered(), "identity order streams sorted");
+        assert!(stream.total_slots() >= 2, "multi-shard plan: {stream:?}");
+        let total = stream.total_slots();
+        let mut merged = Relation::empty(expected.schema().clone());
+        let mut slots_seen = 0;
+        while let Some(batch) = stream.next_batch() {
+            let batch = batch.unwrap();
+            assert_eq!(batch.slot, slots_seen, "ascending slot order");
+            slots_seen += 1;
+            assert_eq!(stream.slots_emitted(), slots_seen);
+            for row in batch.relation.iter_rows() {
+                merged.push_row(row).unwrap();
+            }
+        }
+        assert_eq!(slots_seen, total);
+        assert!(stream.is_finished());
+        // Plain concatenation — batches were never re-sorted — is the
+        // full output, byte for byte.
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn row_stream_merge_matches_wait_for_any_total_order() {
+        let service = Service::new(ServiceConfig::with_workers(3));
+        let rels = triangle();
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let expected = service
+            .submit(&prepared, &cfg)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .relation;
+
+        let mut stream = service.submit(&prepared, &cfg).unwrap().into_stream();
+        assert_eq!(stream.ordered(), prepared.slots_stream_sorted());
+        // The universal consumer contract: concatenate every batch, one
+        // final sort+dedup, equals wait() regardless of `ordered`.
+        let mut merged = Relation::empty(expected.schema().clone());
+        while let Some(batch) = stream.next_batch() {
+            for row in batch.unwrap().relation.iter_rows() {
+                merged.push_row(row).unwrap();
+            }
+        }
+        merged.sort_dedup();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn degenerate_submissions_stream_a_single_batch() {
+        let service = Service::new(ServiceConfig::with_workers(1));
+        let prepared = Arc::new(
+            PreparedQuery::<TrieIndex>::new_indexed(&[
+                rel(&[0, 1], &[&[1, 2]]),
+                Relation::empty(Schema::of(&[1, 2])),
+            ])
+            .unwrap(),
+        );
+        let mut stream = service
+            .submit(&prepared, &service.exec_config())
+            .unwrap()
+            .into_stream();
+        assert!(stream.ordered());
+        assert!(stream.is_finished());
+        assert_eq!(stream.total_slots(), 1);
+        stream.wait_settled(); // no-op on a ready stream
+        let batch = stream.next_batch().unwrap().unwrap();
+        assert_eq!(batch.slot, 0);
+        assert!(batch.relation.is_empty());
+        assert_eq!(batch.relation.arity(), 3);
+        assert!(stream.next_batch().is_none());
+        assert_eq!(stream.slots_emitted(), 1);
+    }
+
+    #[test]
+    fn wait_settled_then_batches_arrive_without_blocking() {
+        let service = Service::new(ServiceConfig::with_workers(2));
+        let rels = triangle();
+        let seq = join_with(&rels, Algorithm::Nprr, None).unwrap();
+        let prepared = Arc::new(PreparedQuery::<TrieIndex>::new_indexed(&rels).unwrap());
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let mut stream = service.submit(&prepared, &cfg).unwrap().into_stream();
+        stream.wait_settled();
+        assert!(stream.is_finished());
+        let mut merged = Relation::empty(seq.relation.schema().clone());
+        while let Some(batch) = stream.next_batch() {
+            for row in batch.unwrap().relation.iter_rows() {
+                merged.push_row(row).unwrap();
+            }
+        }
+        merged.sort_dedup();
+        assert_eq!(merged, seq.relation);
+        // Fully drained stream: dropping it must NOT count a cancellation.
+        drop(stream);
+        assert_eq!(service.counters().cancelled, 0);
+    }
+
+    #[test]
+    fn dropped_stream_cancels_remaining_tasks() {
+        // The HTTP disconnect-mid-stream path: one worker, a heavy
+        // multi-shard query, the consumer reads the first batch and then
+        // goes away. The remaining shards must be skipped and the
+        // admission slot freed — a vanished client cannot leak capacity.
+        let service = Service::new(ServiceConfig::with_workers(1));
+        let (_, heavy, x) = heavy_blocker(23);
+        let cfg = ExecConfig {
+            shard_min_size: 1,
+            ..service.exec_config()
+        };
+        let layout = service.shard_layout(&*heavy, &cfg);
+        assert!(layout.len() >= 3, "the plan is multi-task: {layout:?}");
+
+        let mut stream = service
+            .submit_with_cover(&heavy, Some(&x), &cfg)
+            .unwrap()
+            .into_stream();
+        let first = stream.next_batch().unwrap().unwrap();
+        assert_eq!(first.slot, 0);
+        drop(stream); // client disconnected mid-stream
+        assert_eq!(service.counters().cancelled, 1);
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let c = service.counters();
+            if c.in_flight == 0 && c.queued_tasks == 0 {
+                assert!(
+                    c.skipped_tasks >= 1,
+                    "cancellation skipped work: {c:?} (layout {})",
+                    layout.len()
+                );
+                assert_eq!(c.completed, 1, "cancelled query still drains");
+                break;
+            }
+            assert!(Instant::now() < deadline, "cancelled query never drained");
+            std::thread::yield_now();
+        }
     }
 }

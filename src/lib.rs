@@ -21,6 +21,7 @@
 //! | [`baselines`] | hash/sort-merge/nested-loop joins, binary plans, a System-R-style optimizer |
 //! | [`datagen`] | every instance family the paper's claims use |
 //! | [`query`] | a Datalog-style text front-end and CSV loader |
+//! | [`server`] (`wcoj-server`) | a std-only TCP/HTTP front end: blocking accept loop + connection threads over the shared service, with incremental chunked row streaming, `429`+`Retry-After` under overload, and `/metrics` exposition |
 //! | [`obs`] (`wcoj-obs`) | std-only observability: the process-wide metrics registry with Prometheus exposition, per-query profiles' histogram/percentile machinery, and the `WCOJ_TRACE` scheduler event ring |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@ pub use wcoj_lp as lp;
 pub use wcoj_obs as obs;
 pub use wcoj_query as query;
 pub use wcoj_rational as rational;
+pub use wcoj_server as server;
 pub use wcoj_service as service;
 pub use wcoj_storage as storage;
 
