@@ -4,7 +4,7 @@
 //! harness [--quick] [--json DIR] [e1 e2 …]
 //! ```
 //!
-//! With no experiment ids, runs every experiment (e1–e21). `--quick`
+//! With no experiment ids, runs every experiment (e1–e22). `--quick`
 //! shrinks sweeps, `--json DIR` additionally writes each table as JSON.
 
 use std::io::Write as _;

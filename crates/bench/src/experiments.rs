@@ -1305,6 +1305,165 @@ pub fn e21_plan_cache(quick: bool) -> Vec<Table> {
     vec![t]
 }
 
+/// E22 — query latency under sustained ingest (`wcoj-query` mutable
+/// catalog): a triangle query re-executed while rows stream into its
+/// relations. Three regimes per instance: `base` (frozen relations, the
+/// pre-ingest reference), `fresh` (growing insert/delete buffers merged
+/// into every scan via `DeltaIndex` views — plans *refresh* their
+/// weights instead of rebuilding), and `compacted` (buffers folded into
+/// fresh base indexes, one full rebuild then pure cache hits). Reports
+/// p50/p99 latency and the plan cache's hit/refresh/miss account per
+/// regime; each regime's output is verified against a materialized
+/// re-run of the same catalog state.
+#[must_use]
+pub fn e22_ingest_latency(quick: bool) -> Vec<Table> {
+    use wcoj_query::{execute, parse_query, Catalog};
+    use wcoj_storage::Value;
+
+    let mut t = Table::new(
+        "e22",
+        "wcoj-query ingest: query latency with fresh delta buffers vs after compaction",
+        &[
+            "instance",
+            "mode",
+            "delta_rows",
+            "rounds",
+            "rows",
+            "p50_ms",
+            "p99_ms",
+            "hits",
+            "refreshes",
+            "misses",
+            "identical",
+        ],
+        "fresh rounds pay the base+delta merge and a weights refresh; compaction restores base-only scans",
+    );
+    let size = if quick { 1 } else { 3 };
+    let rounds = if quick { 4usize } else { 12 };
+    let batches = if quick { 3usize } else { 10 };
+    let batch_rows = 32 * size;
+    let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").expect("well-formed query");
+
+    let instances: Vec<(&str, Vec<Relation>, u64)> = vec![
+        (
+            "random_triangle",
+            vec![
+                gen::random_relation(43, &[0, 1], 400 * size, 24),
+                gen::random_relation(53, &[1, 2], 400 * size, 24),
+                gen::random_relation(63, &[0, 2], 400 * size, 24),
+            ],
+            24,
+        ),
+        (
+            "zipf_triangle",
+            vec![
+                gen::zipf_relation(73, &[0, 1], 400 * size, 40, 1.3),
+                gen::zipf_relation(83, &[1, 2], 400 * size, 40, 1.3),
+                gen::zipf_relation(93, &[0, 2], 400 * size, 40, 1.3),
+            ],
+            40,
+        ),
+    ];
+
+    // Checks one regime: `rounds` timed executions, output verified
+    // against a fresh catalog holding the materialized relations.
+    let regime = |t: &mut Table,
+                  name: &str,
+                  mode: &str,
+                  catalog: &Catalog,
+                  q: &wcoj_query::ParsedQuery,
+                  stats_before: (u64, u64, u64)| {
+        let mut secs = Vec::with_capacity(rounds);
+        let mut first: Option<Relation> = None;
+        for _ in 0..rounds {
+            let (out, s) = time_secs(|| execute(q, catalog).expect("execute"));
+            if let Some(ref f) = first {
+                assert_eq!(&out.relation, f, "{name}/{mode}: rounds bit-identical");
+            } else {
+                first = Some(out.relation);
+            }
+            secs.push(s);
+        }
+        let first = first.expect("≥ 1 round");
+        let mut plain = Catalog::new();
+        for rel_name in ["R", "S", "T"] {
+            plain.insert(rel_name, catalog.get(rel_name).expect("relation"));
+        }
+        let reference = execute(q, &plain).expect("materialized run");
+        assert_eq!(
+            first, reference.relation,
+            "{name}/{mode}: delta views match materialized relations"
+        );
+        secs.sort_by(f64::total_cmp);
+        let (hits, misses) = catalog.plan_cache_stats();
+        let refreshes = catalog.plan_cache().refreshes();
+        let delta_rows: usize = ["R", "S", "T"]
+            .iter()
+            .map(|n| catalog.delta(n).expect("registered").delta_len())
+            .sum();
+        t.row(vec![
+            name.to_owned(),
+            mode.to_owned(),
+            delta_rows.to_string(),
+            rounds.to_string(),
+            first.len().to_string(),
+            ms(secs[secs.len() / 2]),
+            ms(secs[secs.len() - 1]),
+            (hits - stats_before.0).to_string(),
+            (refreshes - stats_before.1).to_string(),
+            (misses - stats_before.2).to_string(),
+            "true".to_owned(),
+        ]);
+        (hits, refreshes, misses)
+    };
+
+    for (name, rels, domain) in instances {
+        let mut catalog = Catalog::new();
+        // Keep auto-compaction out of the way: compaction timing is the
+        // regime boundary here, not a background effect.
+        catalog.set_compact_threshold(usize::MAX);
+        for (rel_name, rel) in ["R", "S", "T"].iter().zip(rels) {
+            catalog.insert(*rel_name, rel);
+        }
+
+        // Frozen reference.
+        let stats = regime(&mut t, name, "base", &catalog, &q, (0, 0, 0));
+
+        // Sustained ingest: alternate append/delete batches, querying
+        // after each batch so every round re-merges grown buffers.
+        let mut seed = 0x1A7E_0001u64 ^ domain;
+        let mut step = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for b in 0..batches {
+            for rel_name in ["R", "S", "T"] {
+                let rows: Vec<Vec<Value>> = (0..batch_rows)
+                    .map(|_| vec![Value(step() % domain), Value(step() % domain)])
+                    .collect();
+                let changed = if b % 3 == 2 {
+                    catalog.delete_rows(rel_name, &rows)
+                } else {
+                    catalog.insert_rows(rel_name, &rows)
+                };
+                changed.expect("mutation").expect("registered");
+            }
+            let _ = execute(&q, &catalog).expect("mid-ingest query");
+        }
+        let stats = regime(&mut t, name, "fresh", &catalog, &q, stats);
+
+        // Fold the buffers into fresh bases and measure the recovery.
+        for rel_name in ["R", "S", "T"] {
+            assert!(catalog.compact(rel_name), "{name}: buffers to fold");
+            assert_eq!(catalog.delta(rel_name).expect("registered").delta_len(), 0);
+        }
+        regime(&mut t, name, "compacted", &catalog, &q, stats);
+    }
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1429,6 +1588,27 @@ mod tests {
             assert_eq!(row[6], "true");
             let shards: usize = row[1].parse().unwrap();
             assert!(shards >= 1, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e22_smoke() {
+        let t = e22_ingest_latency(true);
+        // 2 instances × 3 regimes; bit-identity against materialized
+        // relations is asserted inside the experiment
+        assert_eq!(t[0].rows.len(), 6);
+        for row in &t[0].rows {
+            match row[1].as_str() {
+                "base" | "compacted" => assert_eq!(row[2], "0", "{row:?}"),
+                "fresh" => {
+                    let delta_rows: usize = row[2].parse().unwrap();
+                    assert!(delta_rows > 0, "{row:?}");
+                    let refreshes: u64 = row[8].parse().unwrap();
+                    assert!(refreshes >= 1, "{row:?}");
+                }
+                other => panic!("unknown regime {other}"),
+            }
+            assert_eq!(row[10], "true");
         }
     }
 

@@ -19,10 +19,11 @@ pub use table::{time_secs, Table};
 /// parallelism on a single-hot-key workload, E19 service admission
 /// control (shed counts + wait-latency percentiles under a flood), E20
 /// per-query execution profiles and the scheduler trace ring, E21 the
-/// prepared-plan cache's repeat-query submission cost drop.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+/// prepared-plan cache's repeat-query submission cost drop, E22 query
+/// latency under sustained ingest (fresh delta buffers vs compacted).
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
 /// Runs one experiment by id. `quick` shrinks the sweeps for CI-speed runs.
@@ -53,6 +54,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e19" => experiments::e19_overload_shedding(quick),
         "e20" => experiments::e20_obs_profiles(quick),
         "e21" => experiments::e21_plan_cache(quick),
+        "e22" => experiments::e22_ingest_latency(quick),
         other => panic!("unknown experiment id {other}"),
     }
 }

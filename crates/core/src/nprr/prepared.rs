@@ -18,9 +18,9 @@ use super::total_order::{positions, total_order};
 use super::{assemble_output, Engine, RootShard};
 use crate::query::{JoinQuery, QueryError};
 use crate::{JoinOutput, JoinStats};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use wcoj_hypergraph::cover::validate_cover;
-use wcoj_storage::{gallop, Attr, Relation, SearchTree, TrieIndex, Value};
+use wcoj_storage::{gallop, Attr, Relation, SearchTree, StorageError, TrieIndex, Value};
 
 /// Intersects two sorted value lists (galloping/adaptive; differential
 /// proptests in `wcoj-storage` pin it to the naive two-pointer merge).
@@ -46,7 +46,13 @@ fn with_child_slice<S: SearchTree, R>(trie: &S, node: S::Node, f: impl FnOnce(&[
 /// level-0 sweep) — with these cached, a stored `PreparedQuery` makes
 /// repeat submissions pay only the `O(mn·∏N^x)` evaluation itself.
 pub struct PreparedQuery<S: SearchTree = TrieIndex> {
-    q: JoinQuery,
+    q: Arc<JoinQuery>,
+    /// Effective per-relation cardinalities, in edge order. Equal to
+    /// [`JoinQuery::sizes`] for batch preparations; a delta-backed
+    /// preparation supplies merged-view sizes instead, so cover LPs and
+    /// emptiness checks see the data the indexes actually serve (the
+    /// raw relations inside `q` may then be stale bases).
+    sizes: Vec<usize>,
     root: Option<Box<QpNode>>,
     order: Vec<usize>,
     pos: Vec<usize>,
@@ -88,6 +94,31 @@ impl<S: SearchTree> PreparedQuery<S> {
     /// Storage errors from index construction (none expected for a
     /// well-formed [`JoinQuery`]).
     pub fn from_query(q: JoinQuery) -> Result<PreparedQuery<S>, QueryError> {
+        let q = Arc::new(q);
+        let rels = Arc::clone(&q);
+        Self::from_shared(q, None, |i, order| S::build(&rels.relations()[i], order))
+    }
+
+    /// Builds the plan around an `Arc`-shared query, with a caller-supplied
+    /// index builder — the delta-backed preparation path. `build` receives
+    /// each edge index and its per-atom attribute order (edge vertices
+    /// sorted by total-order position) and returns that atom's search
+    /// tree; it can compose the index from shared parts instead of
+    /// indexing `q`'s raw relations. `sizes`, when given, overrides the
+    /// effective per-relation cardinalities (edge order) used for cover
+    /// LPs and emptiness checks.
+    ///
+    /// Sharing the `Arc` keeps a delta rebuild `O(|delta|)`: the query,
+    /// hypergraph, and plan tree are reused by reference; only the
+    /// memoized cover/weights caches start cold.
+    ///
+    /// # Errors
+    /// Propagates `build` failures.
+    pub fn from_shared(
+        q: Arc<JoinQuery>,
+        sizes: Option<Vec<usize>>,
+        mut build: impl FnMut(usize, &[Attr]) -> Result<S, StorageError>,
+    ) -> Result<PreparedQuery<S>, QueryError> {
         let h = q.hypergraph();
         let root = build_qp_tree(h);
         let (order, pos) = match &root {
@@ -100,15 +131,17 @@ impl<S: SearchTree> PreparedQuery<S> {
         };
         let mut tries = Vec::with_capacity(q.relations().len());
         let mut edge_vertices = Vec::with_capacity(q.relations().len());
-        for (i, rel) in q.relations().iter().enumerate() {
+        for i in 0..q.relations().len() {
             let mut vs: Vec<usize> = h.edge(i).to_vec();
             vs.sort_by_key(|&v| pos.get(v).copied().unwrap_or(0));
             let attr_order: Vec<Attr> = vs.iter().map(|&v| q.attr_of_vertex(v)).collect();
-            tries.push(S::build(rel, &attr_order)?);
+            tries.push(build(i, &attr_order)?);
             edge_vertices.push(vs);
         }
+        let sizes = sizes.unwrap_or_else(|| q.sizes());
         Ok(PreparedQuery {
             q,
+            sizes,
             root,
             order,
             pos,
@@ -123,6 +156,35 @@ impl<S: SearchTree> PreparedQuery<S> {
     #[must_use]
     pub fn query(&self) -> &JoinQuery {
         &self.q
+    }
+
+    /// The `Arc`-shared query, for preparations that reuse the plan shape
+    /// (delta rebuilds clone this instead of re-deriving the hypergraph).
+    #[must_use]
+    pub fn shared_query(&self) -> &Arc<JoinQuery> {
+        &self.q
+    }
+
+    /// Effective per-relation cardinalities, in edge order (see the field
+    /// docs: merged-view sizes for delta-backed preparations).
+    #[must_use]
+    pub fn input_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// `true` iff some input relation is effectively empty — the
+    /// degenerate case every evaluation path short-circuits. Consults the
+    /// effective sizes, **not** the raw relations inside the query, so it
+    /// stays correct when the indexes serve a delta view over stale bases.
+    #[must_use]
+    pub fn input_is_empty(&self) -> bool {
+        self.sizes.contains(&0)
+    }
+
+    /// The per-atom search trees, in edge order.
+    #[must_use]
+    pub fn indexes(&self) -> &[S] {
+        &self.tries
     }
 
     /// The total order of attributes (vertex ids) this preparation uses.
@@ -141,18 +203,17 @@ impl<S: SearchTree> PreparedQuery<S> {
             Some(x) => {
                 validate_cover(self.q.hypergraph(), x)
                     .map_err(|e| QueryError::BadCover(e.to_string()))?;
-                Ok((
-                    x.to_vec(),
-                    wcoj_hypergraph::agm::log2_bound(&self.q.sizes(), x),
-                ))
+                Ok((x.to_vec(), wcoj_hypergraph::agm::log2_bound(&self.sizes, x)))
             }
             None => {
                 // Memoized: the LP optimum is a pure function of the
-                // (immutable) query, so solve it at most once.
+                // (immutable) query, so solve it at most once. Solved
+                // over the effective sizes, which for a delta-backed
+                // preparation differ from the raw base relations'.
                 if let Some(cached) = self.opt_cover.get() {
                     return Ok(cached.clone());
                 }
-                let sol = self.q.optimal_cover()?;
+                let sol = wcoj_hypergraph::agm::optimal_cover(self.q.hypergraph(), &self.sizes)?;
                 let pair = (sol.x, sol.log2_bound);
                 let _ = self.opt_cover.set(pair.clone());
                 Ok(pair)
@@ -410,7 +471,7 @@ impl<S: SearchTree> PreparedQuery<S> {
     /// [`QueryError::BadCover`] for invalid covers; LP errors when solving
     /// for the optimum.
     pub fn evaluate(&self, cover: Option<&[f64]>) -> Result<JoinOutput, QueryError> {
-        if self.q.relations().iter().any(Relation::is_empty) {
+        if self.input_is_empty() {
             return Ok(JoinOutput {
                 relation: Relation::empty(self.q.output_schema()),
                 stats: JoinStats {
@@ -603,6 +664,87 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn delta_backend_matches_flat_over_materialized() {
+        use wcoj_storage::{DeltaIndex, DeltaRelation};
+        // A delta-backed preparation (stale bases + ins/del buffers,
+        // composed via from_shared with merged-view sizes) must be
+        // bit-identical to a batch FlatIndex preparation over the
+        // materialized relations: same output, same root weights (shard
+        // plans), same cover bound.
+        for seed in 0..4u64 {
+            let bases = [
+                random_rel(seed * 7 + 200, &[0, 1], 60, 7),
+                random_rel(seed * 7 + 201, &[1, 2], 60, 7),
+                random_rel(seed * 7 + 202, &[0, 2], 60, 7),
+            ];
+            let mut deltas: Vec<DeltaRelation> =
+                bases.iter().cloned().map(DeltaRelation::new).collect();
+            for (i, d) in deltas.iter_mut().enumerate() {
+                let extra = random_rel(seed * 7 + 210 + i as u64, &[0, 1], 25, 7);
+                let rows: Vec<Vec<Value>> = extra.iter_rows().map(<[Value]>::to_vec).collect();
+                d.insert_rows(&rows[..rows.len() / 2]).unwrap();
+                d.delete_rows(&rows[rows.len() / 3..]).unwrap();
+            }
+            let merged: Vec<Relation> = deltas.iter().map(DeltaRelation::materialize).collect();
+            let flat = PreparedQuery::<FlatIndex>::new_indexed(&merged).unwrap();
+
+            // Stale bases inside the shared query; indexes serve the view.
+            let stale: Vec<Relation> = deltas.iter().map(|d| (**d.base()).clone()).collect();
+            let q = Arc::new(JoinQuery::new(&stale).unwrap());
+            let sizes: Vec<usize> = deltas.iter().map(DeltaRelation::len).collect();
+            let delta_prep = PreparedQuery::<DeltaIndex>::from_shared(
+                Arc::clone(&q),
+                Some(sizes),
+                |i, order| {
+                    let d = &deltas[i];
+                    let base = Arc::new(FlatIndex::build(d.base(), order)?);
+                    DeltaIndex::over(base, d.ins(), d.del(), order)
+                },
+            )
+            .unwrap();
+
+            let a = flat.evaluate(None).unwrap();
+            let b = delta_prep.evaluate(None).unwrap();
+            assert_eq!(a.relation, b.relation, "seed {seed}");
+            assert_eq!(
+                flat.root_candidate_weights(),
+                delta_prep.root_candidate_weights(),
+                "seed {seed}: shard-plan inputs diverge"
+            );
+            let (_, bound_a) = flat.resolve_cover(None).unwrap();
+            let (_, bound_b) = delta_prep.resolve_cover(None).unwrap();
+            assert!((bound_a - bound_b).abs() < 1e-12, "seed {seed}");
+            assert_eq!(flat.input_is_empty(), delta_prep.input_is_empty());
+        }
+    }
+
+    #[test]
+    fn effective_sizes_short_circuit_a_delta_emptied_input() {
+        use wcoj_storage::{DeltaIndex, DeltaRelation};
+        // Base is non-empty, but deletions empty the view: the prepared
+        // query must short-circuit on effective sizes, not base sizes.
+        let base = random_rel(300, &[0, 1], 10, 4);
+        let rows: Vec<Vec<Value>> = base.iter_rows().map(<[Value]>::to_vec).collect();
+        let mut d = DeltaRelation::new(base.clone());
+        d.delete_rows(&rows).unwrap();
+        assert_eq!(d.len(), 0);
+        let other = random_rel(301, &[1, 2], 10, 4);
+        let deltas = [d, DeltaRelation::new(other.clone())];
+        let stale = [base, other];
+        let q = Arc::new(JoinQuery::new(&stale).unwrap());
+        let sizes: Vec<usize> = deltas.iter().map(DeltaRelation::len).collect();
+        let prep = PreparedQuery::<DeltaIndex>::from_shared(q, Some(sizes), |i, order| {
+            let dr = &deltas[i];
+            let b = Arc::new(FlatIndex::build(dr.base(), order)?);
+            DeltaIndex::over(b, dr.ins(), dr.del(), order)
+        })
+        .unwrap();
+        assert!(prep.input_is_empty());
+        let out = prep.evaluate(None).unwrap();
+        assert!(out.relation.is_empty());
     }
 
     #[test]

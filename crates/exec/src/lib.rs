@@ -708,7 +708,7 @@ pub fn par_join_prepared<S>(
 where
     S: SearchTree + Sync,
 {
-    if prepared.query().relations().iter().any(Relation::is_empty) {
+    if prepared.input_is_empty() {
         return Ok(JoinOutput {
             relation: Relation::empty(prepared.query().output_schema()),
             stats: JoinStats {

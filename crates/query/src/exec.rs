@@ -1,13 +1,15 @@
 //! Binding a parsed query against a catalog and evaluating it.
 
 use crate::parser::{ParsedQuery, ParsedTerm};
+use crate::plan_cache::CachedPlan;
 use crate::{Catalog, QueryTextError};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use wcoj_core::fullcq::{Subgoal, Term};
 use wcoj_core::nprr::PreparedQuery;
+use wcoj_core::JoinQuery;
 use wcoj_storage::ops::project;
-use wcoj_storage::{Attr, Datum, FlatIndex, Relation};
+use wcoj_storage::{Attr, Datum, DeltaIndex, FlatIndex, Relation};
 
 /// Result of executing a text query.
 #[derive(Debug, Clone)]
@@ -77,21 +79,26 @@ fn bind(q: &ParsedQuery, catalog: &Catalog) -> Result<Bound, QueryTextError> {
         }
     };
 
-    // Canonical body shape + relation generations: the plan-cache key.
-    // Variables are already normalised (first-occurrence ids), constants
-    // are dictionary-encoded values, and the generation stamp changes on
-    // every Catalog::insert — so equal keys imply an identical join over
-    // identical data, and replaced relations can never serve stale plans.
+    // Canonical body shape + relation *base* generations: the plan-cache
+    // key. Variables are already normalised (first-occurrence ids),
+    // constants are dictionary-encoded values, and the base generation
+    // changes on every Catalog::insert (replace) and compaction — so
+    // equal keys imply an identical prepared *shape* (reduced bases,
+    // plan tree, frozen base indexes). Row mutations do not touch the
+    // key: they drift the per-atom delta versions collected alongside,
+    // which the cache checks to decide between serving the entry as-is
+    // and re-merging only its delta side.
     let mut cache_key = String::new();
-    let mut subgoals = Vec::with_capacity(q.atoms.len());
+    let mut delta_vers = Vec::with_capacity(q.atoms.len());
+    let mut atoms: Vec<(String, Vec<Term>)> = Vec::with_capacity(q.atoms.len());
     for atom in &q.atoms {
-        let rel = catalog
-            .get(&atom.relation)
+        let arity = catalog
+            .arity(&atom.relation)
             .ok_or_else(|| QueryTextError::UnknownRelation(atom.relation.clone()))?;
-        if rel.arity() != atom.terms.len() {
+        if arity != atom.terms.len() {
             return Err(QueryTextError::ArityMismatch {
                 relation: atom.relation.clone(),
-                expected: rel.arity(),
+                expected: arity,
                 got: atom.terms.len(),
             });
         }
@@ -104,10 +111,15 @@ fn bind(q: &ParsedQuery, catalog: &Catalog) -> Result<Bound, QueryTextError> {
                 ParsedTerm::Str(s) => Term::Const(catalog.dictionary().encode_str(s)),
             })
             .collect();
-        let generation = catalog
-            .generation(&atom.relation)
-            .expect("relation present: get() succeeded above");
-        let _ = write!(cache_key, "{}@{}(", atom.relation, generation);
+        let base_gen = catalog
+            .base_generation(&atom.relation)
+            .expect("relation present: arity() succeeded above");
+        delta_vers.push(
+            catalog
+                .delta_version(&atom.relation)
+                .expect("relation present"),
+        );
+        let _ = write!(cache_key, "{}@{}(", atom.relation, base_gen);
         for (i, t) in terms.iter().enumerate() {
             if i > 0 {
                 cache_key.push(',');
@@ -122,7 +134,7 @@ fn bind(q: &ParsedQuery, catalog: &Catalog) -> Result<Bound, QueryTextError> {
             }
         }
         cache_key.push_str(");");
-        subgoals.push(Subgoal::new(rel.clone(), terms).expect("arity checked above"));
+        atoms.push((atom.relation.clone(), terms));
     }
 
     // Head variables must occur in the body.
@@ -138,21 +150,98 @@ fn bind(q: &ParsedQuery, catalog: &Catalog) -> Result<Bound, QueryTextError> {
         })
         .collect::<Result<_, _>>()?;
 
-    // §7.3 reduction + cover LP + flat-index construction happen at most
-    // once per query shape over the current data: the prepared plan is
-    // served from the catalog's shared cache on repeat submissions.
+    // §7.3 reduction + cover LP + base-index construction happen at most
+    // once per query shape over the current *bases*: the prepared plan is
+    // served from the catalog's shared cache on repeat submissions, and a
+    // drift in delta versions re-merges only the small buffer side of the
+    // cached shape (O(|delta|), not O(|base|)).
     let plan = catalog
         .plan_cache()
-        .get_or_build(&cache_key, || {
-            let reduced = wcoj_core::fullcq::reduce_all(&subgoals)?;
-            Ok(Arc::new(PreparedQuery::<FlatIndex>::new_indexed(&reduced)?))
-        })
+        .get_or_build_versioned(
+            &cache_key,
+            &delta_vers,
+            || build_plan(catalog, &atoms, None),
+            |old| build_plan(catalog, &atoms, Some(old)),
+        )
         .map_err(|e| QueryTextError::Eval(e.to_string()))?;
     Ok(Bound {
         plan,
         head_attrs: head_ids.into_iter().map(Attr).collect(),
         columns: q.head_vars.clone(),
     })
+}
+
+/// Prepares the delta-merged plan for a bound body. Each atom's three
+/// components — frozen base, insert buffer, delete buffer — are reduced
+/// *separately* per §7.3. The reduction is injective on rows passing its
+/// selection (every dropped column is a constant or a duplicate of a kept
+/// one), so reducing componentwise preserves the delta invariants
+/// (`del ⊆ base`, `ins ∩ base = ∅`) and the merged reduced view equals
+/// the reduction of the merged view.
+///
+/// With `reuse` (a cached plan over the same base generations, stale only
+/// in its deltas), the `Arc`-shared reduced-base `JoinQuery` and frozen
+/// base `FlatIndex`es are taken from the old plan — the plan tree and
+/// per-edge attribute orders are derived from the hypergraph alone, so
+/// they are identical — and only the buffers are reduced and indexed.
+fn build_plan(
+    catalog: &Catalog,
+    atoms: &[(String, Vec<Term>)],
+    reuse: Option<&CachedPlan>,
+) -> Result<CachedPlan, wcoj_core::QueryError> {
+    let mut red_ins: Vec<Relation> = Vec::with_capacity(atoms.len());
+    let mut red_del: Vec<Relation> = Vec::with_capacity(atoms.len());
+    for (name, terms) in atoms {
+        let delta = catalog.delta(name).expect("relation bound above");
+        red_ins.push(
+            Subgoal::new(delta.ins().clone(), terms.clone())
+                .expect("arity checked above")
+                .reduce(),
+        );
+        red_del.push(
+            Subgoal::new(delta.del().clone(), terms.clone())
+                .expect("arity checked above")
+                .reduce(),
+        );
+    }
+    let (query, bases): (Arc<JoinQuery>, Vec<Arc<FlatIndex>>) = match reuse {
+        Some(old) => (
+            Arc::clone(old.shared_query()),
+            old.indexes()
+                .iter()
+                .map(|ix| Arc::clone(ix.base_index()))
+                .collect(),
+        ),
+        None => {
+            let red_base: Vec<Relation> = atoms
+                .iter()
+                .map(|(name, terms)| {
+                    let delta = catalog.delta(name).expect("relation bound above");
+                    Subgoal::new(delta.base().as_ref().clone(), terms.clone())
+                        .expect("arity checked above")
+                        .reduce()
+                })
+                .collect();
+            (Arc::new(JoinQuery::new(&red_base)?), Vec::new())
+        }
+    };
+    // Effective merged-view cardinalities: exact because the reduced
+    // components keep the disjointness/containment invariants above.
+    let sizes: Vec<usize> = query
+        .relations()
+        .iter()
+        .zip(red_ins.iter().zip(&red_del))
+        .map(|(base, (ins, del))| base.len() - del.len() + ins.len())
+        .collect();
+    let rels = Arc::clone(&query);
+    let plan = PreparedQuery::<DeltaIndex>::from_shared(query, Some(sizes), |i, order| {
+        let base = match bases.get(i) {
+            Some(b) => Arc::clone(b),
+            None => Arc::new(FlatIndex::build(&rels.relations()[i], order)?),
+        };
+        DeltaIndex::over(base, &red_ins[i], &red_del[i], order)
+    })?;
+    Ok(Arc::new(plan))
 }
 
 /// Maps an engine error onto the typed HTTP-facing variants.
@@ -687,15 +776,28 @@ mod tests {
         // R's *old* rows — a stale read.
         let mut c = catalog_with_triangle();
         let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let gen_before = c.generation("R").expect("R is registered");
         let before = execute(&q, &c).unwrap();
         assert_eq!(before.relation.len(), 2);
         assert_eq!(c.plan_cache_stats(), (0, 1));
+        assert_eq!(
+            c.generation("R"),
+            Some(gen_before),
+            "queries do not advance the generation"
+        );
 
         // Replace R with a single edge that breaks one of the triangles.
+        let s_gen = c.generation("S");
         c.insert(
             "R",
             Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2]]),
         );
+        let gen_after = c.generation("R").expect("still registered");
+        assert!(
+            gen_after > gen_before,
+            "a replace draws a fresh globally unique generation"
+        );
+        assert_eq!(c.generation("S"), s_gen, "untouched relations keep theirs");
         let after = execute(&q, &c).unwrap();
         assert_eq!(
             after.relation.len(),
@@ -712,6 +814,83 @@ mod tests {
         // The new plan is itself cacheable.
         execute(&q, &c).unwrap();
         assert_eq!(c.plan_cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn row_mutations_refresh_cached_plans_without_rebuilding_the_shape() {
+        // Appends and deletes must be visible to the very next query, but
+        // they only re-merge the cached plan's delta side: same shape key
+        // (base generation unchanged), no extra miss, shared reduced-base
+        // JoinQuery and frozen base indexes.
+        let mut c = catalog_with_triangle();
+        c.set_compact_threshold(usize::MAX);
+        let q = parse_query("Ans(x, y, z) :- R(x, y), S(y, z), T(x, z).").unwrap();
+        let before = execute(&q, &c).unwrap();
+        assert_eq!(before.relation.len(), 2);
+        assert_eq!(c.plan_cache_stats(), (0, 1));
+        assert_eq!(c.plan_cache().refreshes(), 0);
+
+        // Append an edge completing a third triangle: (1,5),(5,4) with
+        // T(1,4) already present.
+        c.insert_rows("R", &[vec![Value(1), Value(5)]]).unwrap();
+        c.insert_rows("S", &[vec![Value(5), Value(4)]]).unwrap();
+        let after = execute(&q, &c).unwrap();
+        assert_eq!(after.relation.len(), 3, "appends visible immediately");
+        assert!(after.relation.contains_row(&[Value(1), Value(5), Value(4)]));
+        assert_eq!(
+            c.plan_cache_stats(),
+            (0, 1),
+            "no new build: the cached shape was refreshed"
+        );
+        assert_eq!(c.plan_cache().refreshes(), 1);
+
+        // Delete one base edge: the first triangle disappears.
+        c.delete_rows("R", &[vec![Value(1), Value(2)]]).unwrap();
+        let third = execute(&q, &c).unwrap();
+        assert_eq!(third.relation.len(), 2);
+        assert!(!third.relation.contains_row(&[Value(1), Value(2), Value(4)]));
+        assert_eq!(c.plan_cache_stats(), (0, 1));
+        assert_eq!(c.plan_cache().refreshes(), 2);
+
+        // Stable deltas: the refreshed entry now hits.
+        let again = execute(&q, &c).unwrap();
+        assert_eq!(again.relation, third.relation);
+        assert_eq!(c.plan_cache_stats(), (1, 1));
+        assert_eq!(c.plan_cache().refreshes(), 2);
+
+        // The delta view must agree exactly with a cold catalog holding
+        // the materialized contents.
+        let mut cold = Catalog::new();
+        for name in ["R", "S", "T"] {
+            cold.insert(name, c.get(name).unwrap());
+        }
+        assert_eq!(execute(&q, &cold).unwrap().relation, third.relation);
+
+        // Compaction folds the buffers into a fresh base: new shape key,
+        // one genuine rebuild, same rows.
+        assert!(c.compact("R"));
+        assert!(c.compact("S"));
+        let compacted = execute(&q, &c).unwrap();
+        assert_eq!(compacted.relation, third.relation);
+        assert_eq!(c.plan_cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn constants_see_delta_mutations() {
+        // Constant selections reduce the buffers per-atom; make sure the
+        // reduced delta components line up with the reduced base.
+        let mut c = catalog_with_triangle();
+        c.set_compact_threshold(usize::MAX);
+        let q = parse_query("Ans(y) :- R(1, y)").unwrap();
+        assert_eq!(execute(&q, &c).unwrap().relation.len(), 2); // y ∈ {2,3}
+        c.insert_rows("R", &[vec![Value(1), Value(9)], vec![Value(7), Value(8)]])
+            .unwrap();
+        c.delete_rows("R", &[vec![Value(1), Value(3)]]).unwrap();
+        let out = execute(&q, &c).unwrap();
+        assert_eq!(out.relation.len(), 2); // y ∈ {2, 9}
+        assert!(out.relation.contains_row(&[Value(9)]));
+        assert!(!out.relation.contains_row(&[Value(3)]));
+        assert_eq!(c.plan_cache().refreshes(), 1);
     }
 
     #[test]

@@ -5,29 +5,37 @@
 //! ## Key
 //!
 //! A cache key is the canonical form of the query body: one segment per
-//! atom, `name@generation(term,…)`, with variables numbered by first
+//! atom, `name@base_generation(term,…)`, with variables numbered by first
 //! occurrence (so `Ans(a,b) :- E(a,b)` and `Ans(x,y) :- E(x,y)` share an
 //! entry) and constants by their dictionary-encoded value. The head is
 //! *not* part of the key: the cached object is the prepared **join**, and
 //! projection happens after evaluation.
 //!
-//! ## Invalidation
+//! ## Two-level invalidation
 //!
-//! `generation` is a **process-globally unique** stamp assigned by
-//! [`Catalog::insert`](crate::Catalog::insert) on every insert or
-//! replace — not a per-name bump. Replacing a relation therefore changes
-//! every key that mentions it, so a cached `PreparedQuery` built over the
-//! old data can never be served again (it ages out of the LRU). Global
-//! uniqueness also covers cloned catalogs: two diverged clones can never
-//! reach the same `(name, generation)` pair with different data, which a
-//! per-name counter would allow.
+//! Generations are **process-globally unique** stamps assigned by the
+//! catalog — not per-name bumps — so two diverged catalog clones can
+//! never reach the same `(name, generation)` pair with different data.
+//! The cache distinguishes two kinds of staleness:
+//!
+//! * **Base drift** (replace / compaction) changes a relation's *base
+//!   generation*, hence the key itself: the stale entry can never be
+//!   served again and ages out of the LRU. This rebuilds everything —
+//!   reduction, LP, indexes.
+//! * **Delta drift** (row appends / deletes) leaves the key intact but
+//!   changes the per-atom *delta versions* stored alongside the entry.
+//!   A lookup whose versions disagree keeps the entry's prepared shape —
+//!   the `Arc`-shared reduced base relations and frozen base indexes —
+//!   and re-merges only the small delta side (counted as a *refresh*,
+//!   neither hit nor miss). An append therefore invalidates a cached
+//!   plan's weights, not its prepared shape.
 //!
 //! ## Sharing & metrics
 //!
 //! The cache itself is behind an `Arc`, so catalog clones (the cheap
 //! handle-passing pattern) share one cache and one hit/miss account.
 //! Counts are mirrored into the process-wide `wcoj-obs` registry as
-//! `wcoj_plan_cache_hits_total` / `wcoj_plan_cache_misses_total`.
+//! `wcoj_plan_cache_{hits,misses,refreshes}_total`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,15 +43,15 @@ use std::sync::{Arc, Mutex, OnceLock};
 use wcoj_core::nprr::PreparedQuery;
 use wcoj_core::QueryError;
 use wcoj_obs::Counter;
-use wcoj_storage::FlatIndex;
+use wcoj_storage::DeltaIndex;
 
 /// Upper bound on cached plans; past it the least-recently-used entry is
 /// evicted (stale generations age out this way too).
 const CAPACITY: usize = 64;
 
-/// Process-wide generation stamps for catalog inserts. Monotone and never
-/// reused, so a `(name, generation)` pair identifies one exact relation
-/// value for the life of the process.
+/// Process-wide generation stamps for catalog versions. Monotone and
+/// never reused, so a `(name, generation)` pair identifies one exact
+/// relation value for the life of the process.
 static GENERATIONS: AtomicU64 = AtomicU64::new(1);
 
 /// Draws the next globally unique relation generation.
@@ -51,14 +59,16 @@ pub(crate) fn next_generation() -> u64 {
     GENERATIONS.fetch_add(1, Ordering::Relaxed)
 }
 
-/// The cached preparations all use the flat columnar backend — the
-/// fastest of the three index layouts on the engine hot path, and
-/// bit-identical to the others (gated by the release stress suites).
-pub type CachedPlan = Arc<PreparedQuery<FlatIndex>>;
+/// The cached preparations are delta-merged views over the flat columnar
+/// backend — frozen `Arc`-shared base indexes plus the relation's small
+/// insert/delete buffers, bit-identical to an index over the materialized
+/// view (gated by the release stress suites).
+pub type CachedPlan = Arc<PreparedQuery<DeltaIndex>>;
 
 struct Mirror {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
+    refreshes: Arc<Counter>,
 }
 
 impl Mirror {
@@ -75,25 +85,39 @@ impl Mirror {
                     "wcoj_plan_cache_misses_total",
                     "Catalog queries that built (and cached) a fresh PreparedQuery",
                 ),
+                refreshes: r.counter(
+                    "wcoj_plan_cache_refreshes_total",
+                    "Cached plans whose delta side was re-merged after row mutations",
+                ),
             }
         })
     }
 }
 
-struct Inner {
-    entries: HashMap<String, (CachedPlan, u64)>,
-    /// LRU clock: bumped on every touch; the entry with the smallest
+struct Entry {
+    plan: CachedPlan,
+    /// Per-atom delta versions the plan's merged indexes were built at.
+    delta_vers: Vec<u64>,
+    /// LRU clock value of the last touch; the entry with the smallest
     /// stamp is the eviction victim.
+    stamp: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// LRU clock: bumped on every touch.
     tick: u64,
 }
 
 /// A shared LRU of prepared queries, keyed by canonical query shape +
-/// relation generations. Cheap to clone (one `Arc`).
+/// relation base generations, delta-versioned within each entry. Cheap
+/// to clone (one `Arc`).
 #[derive(Clone)]
 pub struct PlanCache {
     inner: Arc<Mutex<Inner>>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+    refreshes: Arc<AtomicU64>,
 }
 
 impl Default for PlanCache {
@@ -113,13 +137,13 @@ impl PlanCache {
             })),
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
+            refreshes: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Looks up `key`, building and inserting with `build` on a miss.
-    /// Build errors are returned without caching anything (a failing
-    /// query shape re-attempts on every submission — failures are cheap
-    /// and should not occupy capacity).
+    /// Equivalent to [`PlanCache::get_or_build_versioned`] with no delta
+    /// versions: any cached entry under `key` is served as-is.
     ///
     /// # Errors
     /// Whatever `build` returns.
@@ -128,38 +152,84 @@ impl PlanCache {
         key: &str,
         build: impl FnOnce() -> Result<CachedPlan, QueryError>,
     ) -> Result<CachedPlan, QueryError> {
-        {
+        self.get_or_build_versioned(key, &[], build, |old| Ok(Arc::clone(old)))
+    }
+
+    /// Looks up `key` and serves the cached plan when its stored delta
+    /// versions equal `delta_vers` (a **hit**). On a present-but-drifted
+    /// entry, calls `refresh` with the stale plan — which shares its
+    /// prepared shape (`Arc`'d reduced bases and base indexes) with the
+    /// replacement — and re-inserts under the new versions (a
+    /// **refresh**). On an absent key, calls `build` (a **miss**).
+    ///
+    /// Both closures run outside the cache lock: preparation (LP + index
+    /// construction) can be expensive, and concurrent submitters of
+    /// *different* shapes shouldn't serialise on it. Two racing
+    /// submitters of the same shape may both build; last insert wins,
+    /// both results are equivalent. Errors are returned without caching
+    /// anything (a failing shape re-attempts on every submission —
+    /// failures are cheap and should not occupy capacity; the stale
+    /// entry a failing `refresh` left behind stays, still guarded by its
+    /// version vector).
+    ///
+    /// # Errors
+    /// Whatever `build` / `refresh` return.
+    pub fn get_or_build_versioned(
+        &self,
+        key: &str,
+        delta_vers: &[u64],
+        build: impl FnOnce() -> Result<CachedPlan, QueryError>,
+        refresh: impl FnOnce(&CachedPlan) -> Result<CachedPlan, QueryError>,
+    ) -> Result<CachedPlan, QueryError> {
+        let stale = {
             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.tick += 1;
             let tick = inner.tick;
-            if let Some((plan, stamp)) = inner.entries.get_mut(key) {
-                *stamp = tick;
-                let plan = Arc::clone(plan);
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Mirror::get().hits.inc();
-                return Ok(plan);
+            match inner.entries.get_mut(key) {
+                Some(entry) => {
+                    entry.stamp = tick;
+                    if entry.delta_vers == delta_vers {
+                        let plan = Arc::clone(&entry.plan);
+                        drop(inner);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Mirror::get().hits.inc();
+                        return Ok(plan);
+                    }
+                    Some(Arc::clone(&entry.plan))
+                }
+                None => None,
             }
-        }
-        // Build outside the lock: preparation (LP + index construction)
-        // can be expensive, and concurrent submitters of *different*
-        // shapes shouldn't serialise on it. Two racing submitters of the
-        // same shape may both build; last insert wins, both results are
-        // equivalent.
-        let plan = build()?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        Mirror::get().misses.inc();
+        };
+        let plan = match &stale {
+            Some(old) => {
+                let plan = refresh(old)?;
+                self.refreshes.fetch_add(1, Ordering::Relaxed);
+                Mirror::get().refreshes.inc();
+                plan
+            }
+            None => {
+                let plan = build()?;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Mirror::get().misses.inc();
+                plan
+            }
+        };
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
-        inner
-            .entries
-            .insert(key.to_owned(), (Arc::clone(&plan), tick));
+        inner.entries.insert(
+            key.to_owned(),
+            Entry {
+                plan: Arc::clone(&plan),
+                delta_vers: delta_vers.to_vec(),
+                stamp: tick,
+            },
+        );
         if inner.entries.len() > CAPACITY {
             if let Some(victim) = inner
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .min_by_key(|(_, entry)| entry.stamp)
                 .map(|(k, _)| k.clone())
             {
                 inner.entries.remove(&victim);
@@ -169,13 +239,21 @@ impl PlanCache {
     }
 
     /// `(hits, misses)` accumulated by this cache (shared across catalog
-    /// clones holding the same `Arc`).
+    /// clones holding the same `Arc`). Delta refreshes are counted
+    /// separately — see [`PlanCache::refreshes`].
     #[must_use]
     pub fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Number of cached plans whose delta side was re-merged after row
+    /// mutations (prepared shape reused, weights recomputed).
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
     }
 
     /// Number of cached plans right now.
@@ -205,7 +283,7 @@ mod tests {
             Relation::from_u32_rows(Schema::of(&[0, 1]), &[&[1, 2]]),
             Relation::from_u32_rows(Schema::of(&[1, 2]), &[&[2, 3]]),
         ];
-        Arc::new(PreparedQuery::<FlatIndex>::new_indexed(&rels).unwrap())
+        Arc::new(PreparedQuery::<DeltaIndex>::new_indexed(&rels).unwrap())
     }
 
     #[test]
@@ -287,5 +365,79 @@ mod tests {
             .unwrap();
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(clone.stats(), (1, 1));
+    }
+
+    #[test]
+    fn version_drift_refreshes_instead_of_missing() {
+        let cache = PlanCache::new();
+        let a = cache
+            .get_or_build_versioned("k", &[0, 0], || Ok(plan()), |_| panic!("empty cache"))
+            .unwrap();
+        assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(cache.refreshes(), 0);
+        // Same versions → hit, same Arc.
+        let b = cache
+            .get_or_build_versioned(
+                "k",
+                &[0, 0],
+                || panic!("cached"),
+                |_| panic!("versions match"),
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        // Drifted versions → refresh sees the stale plan, result cached
+        // under the new versions.
+        let c = cache
+            .get_or_build_versioned(
+                "k",
+                &[0, 7],
+                || panic!("present"),
+                |old| {
+                    assert!(Arc::ptr_eq(old, &a));
+                    Ok(plan())
+                },
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats(), (1, 1), "a refresh is neither hit nor miss");
+        assert_eq!(cache.refreshes(), 1);
+        assert_eq!(cache.len(), 1);
+        let d = cache
+            .get_or_build_versioned(
+                "k",
+                &[0, 7],
+                || panic!("cached"),
+                |_| panic!("versions match"),
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&c, &d));
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn failed_refresh_keeps_the_guarded_stale_entry() {
+        let cache = PlanCache::new();
+        let a = cache
+            .get_or_build_versioned("k", &[1], || Ok(plan()), |_| panic!("empty"))
+            .unwrap();
+        let r = cache.get_or_build_versioned(
+            "k",
+            &[2],
+            || panic!("present"),
+            |_| Err(QueryError::Overloaded),
+        );
+        assert!(r.is_err());
+        // The stale entry survives, still version-guarded: matching the
+        // old versions hits it, the new versions retry the refresh.
+        let b = cache
+            .get_or_build_versioned("k", &[1], || panic!(), |_| panic!())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache
+            .get_or_build_versioned("k", &[2], || panic!("present"), |_| Ok(plan()))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.refreshes(), 1);
     }
 }

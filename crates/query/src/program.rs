@@ -108,7 +108,7 @@ pub fn run_program(
                         got: result.relation.arity(),
                     });
                 }
-                union(existing, &result.relation)
+                union(&existing, &result.relation)
                     .map_err(|e| QueryTextError::Eval(e.to_string()))?
             }
             _ => result.relation.clone(),

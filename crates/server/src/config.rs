@@ -32,6 +32,16 @@ pub struct ServerConfig {
     /// Cap on a request body (fixed 1 MiB): a larger `Content-Length`
     /// is refused with `413` before reading the body.
     pub max_body_bytes: usize,
+    /// Requests served per connection before the server closes it
+    /// (`WCOJ_KEEP_ALIVE_MAX`, default 32). `0` or `1` disables
+    /// keep-alive: every response says `Connection: close`. The cap
+    /// bounds how long one client can monopolise a connection thread.
+    pub keep_alive_max: usize,
+    /// Idle timeout between keep-alive requests (`WCOJ_IDLE_TIMEOUT_MS`,
+    /// default 5 000 ms; `0` falls back to `read_timeout`). A kept-alive
+    /// connection that goes quiet is closed silently — unlike a stall
+    /// *mid*-request, which still earns a `408`.
+    pub idle_timeout: Option<Duration>,
     /// Configuration for the backing query service (admission bound via
     /// `WCOJ_QUEUE_DEPTH`, trace level via `WCOJ_TRACE` — see
     /// [`ServiceConfig::from_env`]). Used by `Server::start`; ignored
@@ -48,6 +58,8 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_millis(10_000)),
             max_header_bytes: 8 * 1024,
             max_body_bytes: 1024 * 1024,
+            keep_alive_max: 32,
+            idle_timeout: Some(Duration::from_millis(5_000)),
             service: ServiceConfig::default(),
         }
     }
@@ -55,7 +67,8 @@ impl Default for ServerConfig {
 
 impl ServerConfig {
     /// Defaults overridden from the environment: `WCOJ_BIND`,
-    /// `WCOJ_CONN_THREADS`, `WCOJ_READ_TIMEOUT_MS`, plus everything
+    /// `WCOJ_CONN_THREADS`, `WCOJ_READ_TIMEOUT_MS`,
+    /// `WCOJ_KEEP_ALIVE_MAX`, `WCOJ_IDLE_TIMEOUT_MS`, plus everything
     /// [`ServiceConfig::from_env`] reads. Malformed values warn once and
     /// fall back (see the module docs).
     #[must_use]
@@ -83,6 +96,16 @@ impl ServerConfig {
                 Some(Duration::from_millis(ms as u64))
             };
         }
+        if let Some(n) = wcoj_exec::read_env_usize("WCOJ_KEEP_ALIVE_MAX") {
+            cfg.keep_alive_max = n;
+        }
+        if let Some(ms) = wcoj_exec::read_env_usize("WCOJ_IDLE_TIMEOUT_MS") {
+            cfg.idle_timeout = if ms == 0 {
+                None
+            } else {
+                Some(Duration::from_millis(ms as u64))
+            };
+        }
         cfg
     }
 }
@@ -100,17 +123,26 @@ mod tests {
         std::env::set_var("WCOJ_BIND", "127.0.0.1:0");
         std::env::set_var("WCOJ_CONN_THREADS", "2");
         std::env::set_var("WCOJ_READ_TIMEOUT_MS", "250");
+        std::env::set_var("WCOJ_KEEP_ALIVE_MAX", "8");
+        std::env::set_var("WCOJ_IDLE_TIMEOUT_MS", "750");
         let cfg = ServerConfig::from_env();
         assert_eq!(cfg.bind, "127.0.0.1:0".parse().unwrap());
         assert_eq!(cfg.conn_threads, 2);
         assert_eq!(cfg.read_timeout, Some(Duration::from_millis(250)));
+        assert_eq!(cfg.keep_alive_max, 8);
+        assert_eq!(cfg.idle_timeout, Some(Duration::from_millis(750)));
 
-        // `0` disables the read timeout; thread counts clamp to ≥ 1.
+        // `0` disables the read/idle timeouts; thread counts clamp to
+        // ≥ 1; a zero keep-alive budget turns keep-alive off.
         std::env::set_var("WCOJ_READ_TIMEOUT_MS", "0");
         std::env::set_var("WCOJ_CONN_THREADS", "0");
+        std::env::set_var("WCOJ_KEEP_ALIVE_MAX", "0");
+        std::env::set_var("WCOJ_IDLE_TIMEOUT_MS", "0");
         let cfg = ServerConfig::from_env();
         assert_eq!(cfg.read_timeout, None);
         assert_eq!(cfg.conn_threads, 1);
+        assert_eq!(cfg.keep_alive_max, 0);
+        assert_eq!(cfg.idle_timeout, None);
 
         // Malformed values fall back to the defaults *and* land in the
         // warn-once registry.
@@ -137,5 +169,7 @@ mod tests {
         std::env::remove_var("WCOJ_BIND");
         std::env::remove_var("WCOJ_CONN_THREADS");
         std::env::remove_var("WCOJ_READ_TIMEOUT_MS");
+        std::env::remove_var("WCOJ_KEEP_ALIVE_MAX");
+        std::env::remove_var("WCOJ_IDLE_TIMEOUT_MS");
     }
 }

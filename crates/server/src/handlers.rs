@@ -1,11 +1,10 @@
 //! Route handlers. Each takes the shared [`ServerState`], the parsed
-//! request, and the raw stream (responses — fixed or chunked — are
-//! written directly).
+//! request, and the connection (responses — fixed or chunked — are
+//! written directly, advertising the serve loop's keep-alive decision).
 
-use crate::http::{json_escape, write_response, ChunkedWriter, Request};
+use crate::http::{json_escape, write_response, ChunkedWriter, Conn, Request};
 use crate::jobs::Job;
 use crate::ServerState;
-use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use wcoj_query::{load_csv, parse_program, parse_query, run_program, submit_query, QueryTextError};
 use wcoj_storage::Relation;
@@ -19,16 +18,16 @@ const BLOCK_DEADLINE: Duration = Duration::from_secs(10);
 pub(crate) fn handle(
     state: &ServerState,
     req: &Request,
-    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
 ) -> std::io::Result<()> {
     let path = req.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').skip(1).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => write_response(stream, 200, "OK", "text/plain", &[], b"ok\n"),
+        ("GET", ["healthz"]) => write_response(conn, 200, "OK", "text/plain", &[], b"ok\n"),
         ("GET", ["metrics"]) => {
             let body = wcoj_obs::global().render_prometheus();
             write_response(
-                stream,
+                conn,
                 200,
                 "OK",
                 "text/plain; version=0.0.4",
@@ -36,23 +35,28 @@ pub(crate) fn handle(
                 body.as_bytes(),
             )
         }
-        ("PUT", ["relation", name]) => put_relation(state, req, name, stream),
-        ("POST", ["query"]) => post_query(state, req, stream),
+        ("PUT", ["relation", name]) => put_relation(state, req, name, conn),
+        ("POST", ["relation", name, "rows"]) => mutate_relation_rows(state, req, name, conn, true),
+        ("DELETE", ["relation", name, "rows"]) => {
+            mutate_relation_rows(state, req, name, conn, false)
+        }
+        ("DELETE", ["relation", name]) => delete_relation(state, name, conn),
+        ("POST", ["query"]) => post_query(state, req, conn),
         ("GET", ["query", id]) => match id.parse::<u64>() {
-            Ok(id) => query_status(state, req, id, stream),
-            Err(_) => error_response(stream, 404, "job ids are integers"),
+            Ok(id) => query_status(state, req, id, conn),
+            Err(_) => error_response(conn, 404, "job ids are integers"),
         },
         ("GET", ["query", id, "rows"]) => match id.parse::<u64>() {
-            Ok(id) => query_rows(state, id, stream),
-            Err(_) => error_response(stream, 404, "job ids are integers"),
+            Ok(id) => query_rows(state, id, conn),
+            Err(_) => error_response(conn, 404, "job ids are integers"),
         },
-        _ => error_response(stream, 404, "no such route"),
+        _ => error_response(conn, 404, "no such route"),
     }
 }
 
 /// Writes a uniform JSON error body.
 pub(crate) fn error_response(
-    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
     status: u16,
     message: &str,
 ) -> std::io::Result<()> {
@@ -64,7 +68,7 @@ pub(crate) fn error_response(
         &[]
     };
     write_response(
-        stream,
+        conn,
         status,
         reason,
         "application/json",
@@ -94,17 +98,17 @@ fn put_relation(
     state: &ServerState,
     req: &Request,
     name: &str,
-    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
 ) -> std::io::Result<()> {
     if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-        return error_response(stream, 400, "relation names are [A-Za-z0-9_]+");
+        return error_response(conn, 400, "relation names are [A-Za-z0-9_]+");
     }
     let Ok(text) = std::str::from_utf8(&req.body) else {
-        return error_response(stream, 400, "CSV body must be UTF-8");
+        return error_response(conn, 400, "CSV body must be UTF-8");
     };
     let rel = match load_csv(text, &state.dict) {
         Ok(rel) => rel,
-        Err(e) => return error_response(stream, 400, &format!("CSV: {e}")),
+        Err(e) => return error_response(conn, 400, &format!("CSV: {e}")),
     };
     let rows = rel.len();
     state
@@ -116,34 +120,104 @@ fn put_relation(
         "{{\"relation\":\"{}\",\"rows\":{rows}}}\n",
         json_escape(name)
     );
-    write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+    write_response(conn, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
+/// `POST /relation/{name}/rows` (append) and `DELETE
+/// /relation/{name}/rows` (delete): the CSV body's rows become a delta
+/// against the named relation. Queries admitted *before* the mutation
+/// keep their pinned snapshot; queries admitted after see the new rows.
+fn mutate_relation_rows(
+    state: &ServerState,
+    req: &Request,
+    name: &str,
+    conn: &mut Conn<'_>,
+    append: bool,
+) -> std::io::Result<()> {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(conn, 400, "CSV body must be UTF-8");
+    };
+    let rel = match load_csv(text, &state.dict) {
+        Ok(rel) => rel,
+        Err(e) => return error_response(conn, 400, &format!("CSV: {e}")),
+    };
+    let rows: Vec<Vec<wcoj_storage::Value>> = rel.iter_rows().map(<[_]>::to_vec).collect();
+    let changed = {
+        let mut catalog = state.catalog.write().expect("catalog lock");
+        let res = if append {
+            catalog.insert_rows(name, &rows)
+        } else {
+            catalog.delete_rows(name, &rows)
+        };
+        match res {
+            Ok(Some(n)) => Ok((n, catalog.row_count(name).unwrap_or(0))),
+            Ok(None) => Err((404, format!("no relation named {name:?}"))),
+            Err(e) => Err((400, e.to_string())),
+        }
+    };
+    match changed {
+        Ok((n, total)) => {
+            let verb = if append { "appended" } else { "deleted" };
+            let body = format!(
+                "{{\"relation\":\"{}\",\"{verb}\":{n},\"rows\":{total}}}\n",
+                json_escape(name)
+            );
+            write_response(conn, 200, "OK", "application/json", &[], body.as_bytes())
+        }
+        Err((status, message)) => {
+            state.metrics.errors_total.inc();
+            error_response(conn, status, &message)
+        }
+    }
+}
+
+/// `DELETE /relation/{name}`: unregisters the relation. Snapshots pinned
+/// by in-flight queries still hold their copy.
+fn delete_relation(state: &ServerState, name: &str, conn: &mut Conn<'_>) -> std::io::Result<()> {
+    let removed = state.catalog.write().expect("catalog lock").remove(name);
+    if removed {
+        let body = format!(
+            "{{\"relation\":\"{}\",\"removed\":true}}\n",
+            json_escape(name)
+        );
+        write_response(conn, 200, "OK", "application/json", &[], body.as_bytes())
+    } else {
+        state.metrics.errors_total.inc();
+        error_response(conn, 404, &format!("no relation named {name:?}"))
+    }
 }
 
 /// `POST /query`: a single conjunctive query is submitted through the
 /// service for streaming; a multi-statement Datalog program runs eagerly
 /// and the last rule's result is materialized.
-fn post_query(state: &ServerState, req: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
+///
+/// Submission pins a copy-on-write [`wcoj_query::Snapshot`] of the
+/// catalog taken at admission: the query plans and streams against that
+/// snapshot, and the job holds it until the rows are fetched, so later
+/// catalog mutations cannot change what this query returns.
+fn post_query(state: &ServerState, req: &Request, conn: &mut Conn<'_>) -> std::io::Result<()> {
     let Ok(text) = std::str::from_utf8(&req.body) else {
-        return error_response(stream, 400, "query body must be UTF-8");
+        return error_response(conn, 400, "query body must be UTF-8");
     };
     state.metrics.queries_total.inc();
     match parse_query(text) {
         Ok(q) => {
-            let submitted = {
-                let catalog = state.catalog.read().expect("catalog lock");
-                submit_query(&q, &catalog)
-            };
-            match submitted {
+            let snapshot = state.catalog.read().expect("catalog lock").freeze();
+            snapshot.record_age();
+            match submit_query(&q, snapshot.catalog()) {
                 Ok(pending) => {
                     let columns = pending.columns().to_vec();
                     let streaming = pending.incremental();
-                    let id = state.jobs.insert(Job::Pending(pending));
+                    let id = state.jobs.insert(Job::Pending {
+                        query: pending,
+                        snapshot,
+                    });
                     let body = format!(
                         "{{\"id\":{id},\"columns\":[{}],\"streaming\":{streaming}}}\n",
                         columns_json(&columns)
                     );
                     write_response(
-                        stream,
+                        conn,
                         202,
                         "Accepted",
                         "application/json",
@@ -151,7 +225,7 @@ fn post_query(state: &ServerState, req: &Request, stream: &mut TcpStream) -> std
                         body.as_bytes(),
                     )
                 }
-                Err(e) => query_error(state, stream, &e),
+                Err(e) => query_error(state, conn, &e),
             }
         }
         // Not a single query — maybe a program. If the program parse
@@ -176,7 +250,7 @@ fn post_query(state: &ServerState, req: &Request, stream: &mut TcpStream) -> std
                             columns_json(&last.columns)
                         );
                         write_response(
-                            stream,
+                            conn,
                             202,
                             "Accepted",
                             "application/json",
@@ -184,10 +258,10 @@ fn post_query(state: &ServerState, req: &Request, stream: &mut TcpStream) -> std
                             body.as_bytes(),
                         )
                     }
-                    Err(e) => query_error(state, stream, &e),
+                    Err(e) => query_error(state, conn, &e),
                 }
             }
-            Err(e) => query_error(state, stream, &e),
+            Err(e) => query_error(state, conn, &e),
         },
     }
 }
@@ -195,7 +269,7 @@ fn post_query(state: &ServerState, req: &Request, stream: &mut TcpStream) -> std
 /// Maps a [`QueryTextError`] onto the wire, bumping the right counters.
 fn query_error(
     state: &ServerState,
-    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
     e: &QueryTextError,
 ) -> std::io::Result<()> {
     let status = e.http_status();
@@ -204,7 +278,7 @@ fn query_error(
     } else {
         state.metrics.errors_total.inc();
     }
-    error_response(stream, status, &e.to_string())
+    error_response(conn, status, &e.to_string())
 }
 
 fn columns_json(columns: &[String]) -> String {
@@ -220,7 +294,7 @@ fn query_status(
     state: &ServerState,
     req: &Request,
     id: u64,
-    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
 ) -> std::io::Result<()> {
     let deadline = Instant::now() + BLOCK_DEADLINE;
     let block = req.query_flag("block");
@@ -229,7 +303,7 @@ fn query_status(
         // would pin the jobs lock; poll `is_finished` briefly instead.
         let status: Option<(String, bool)> = state.jobs.with(|map| {
             map.get(&id).map(|job| match job {
-                Job::Pending(p) => (
+                Job::Pending { query: p, .. } => (
                     format!(
                         "{{\"id\":{id},\"state\":\"pending\",\"finished\":{},\"columns\":[{}],\"streaming\":{}}}\n",
                         p.is_finished(),
@@ -267,13 +341,13 @@ fn query_status(
             })
         });
         match status {
-            None => return error_response(stream, 404, "no such job"),
+            None => return error_response(conn, 404, "no such job"),
             Some((body, settled)) => {
                 if block && !settled && Instant::now() < deadline {
                     std::thread::sleep(Duration::from_millis(2));
                     continue;
                 }
-                return write_response(stream, 200, "OK", "application/json", &[], body.as_bytes());
+                return write_response(conn, 200, "OK", "application/json", &[], body.as_bytes());
             }
         }
     }
@@ -283,7 +357,7 @@ fn query_status(
 /// headers already went out (`mid_stream`) — answers with the status.
 fn fail_job(
     state: &ServerState,
-    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
     id: u64,
     status: u16,
     message: &str,
@@ -304,9 +378,12 @@ fn fail_job(
         );
     });
     if mid_stream {
+        // Chunked headers are on the wire and the stream is truncated:
+        // the connection's framing is unusable, close it.
+        conn.keep_alive = false;
         Ok(())
     } else {
-        error_response(stream, status, message)
+        error_response(conn, status, message)
     }
 }
 
@@ -343,19 +420,22 @@ fn relation_csv(state: &ServerState, rel: &Relation) -> String {
 /// `GET /query/{id}/rows`: streams the result as chunked CSV. For an
 /// incrementally streamable plan each root slot's rows go out as a chunk
 /// the moment that slot settles; otherwise one merged chunk at the end.
-fn query_rows(state: &ServerState, id: u64, stream: &mut TcpStream) -> std::io::Result<()> {
+fn query_rows(state: &ServerState, id: u64, conn: &mut Conn<'_>) -> std::io::Result<()> {
     // Take ownership of the pending query (or a terminal answer) while
     // holding the lock only for the swap.
     enum Fetch {
-        Pending(wcoj_query::PendingQuery),
+        Pending(
+            wcoj_query::PendingQuery,
+            std::sync::Arc<wcoj_query::Snapshot>,
+        ),
         Materialized(Relation),
         Answer(u16, String),
     }
     let fetch = state.jobs.with(|map| match map.remove(&id) {
         None => Fetch::Answer(404, "no such job".to_owned()),
-        Some(Job::Pending(p)) => {
+        Some(Job::Pending { query, snapshot }) => {
             map.insert(id, Job::Streaming);
-            Fetch::Pending(p)
+            Fetch::Pending(query, snapshot)
         }
         Some(Job::Materialized { columns, relation }) => {
             map.insert(
@@ -383,11 +463,11 @@ fn query_rows(state: &ServerState, id: u64, stream: &mut TcpStream) -> std::io::
     });
 
     match fetch {
-        Fetch::Answer(status, message) => error_response(stream, status, &message),
+        Fetch::Answer(status, message) => error_response(conn, status, &message),
         Fetch::Materialized(relation) => {
             let body = relation_csv(state, &relation);
             let mut w = ChunkedWriter::start(
-                stream,
+                conn,
                 200,
                 "OK",
                 "text/csv",
@@ -398,7 +478,11 @@ fn query_rows(state: &ServerState, id: u64, stream: &mut TcpStream) -> std::io::
             state.metrics.rows_streamed_total.add(relation.len() as u64);
             Ok(())
         }
-        Fetch::Pending(mut pending) => {
+        Fetch::Pending(mut pending, snapshot) => {
+            // The snapshot stays pinned for the whole stream: the rows
+            // going out were planned against it, and concurrent catalog
+            // mutations must not be able to retire its storage.
+            let _pinned = snapshot;
             let columns = pending.columns().to_vec();
             let mode = if pending.incremental() {
                 "incremental"
@@ -411,12 +495,12 @@ fn query_rows(state: &ServerState, id: u64, stream: &mut TcpStream) -> std::io::
             let first = match pending.next_batch() {
                 Some(Err(e)) => {
                     drop(pending);
-                    return fail_job(state, stream, id, e.http_status(), &e.to_string(), false);
+                    return fail_job(state, conn, id, e.http_status(), &e.to_string(), false);
                 }
                 other => other.map(|r| r.expect("Err handled above")),
             };
             let mut w = match ChunkedWriter::start(
-                stream,
+                conn,
                 200,
                 "OK",
                 "text/csv",
@@ -427,7 +511,7 @@ fn query_rows(state: &ServerState, id: u64, stream: &mut TcpStream) -> std::io::
                     drop(pending);
                     let _ = fail_job(
                         state,
-                        stream,
+                        conn,
                         id,
                         499,
                         "client disconnected before the stream started",
@@ -445,14 +529,7 @@ fn query_rows(state: &ServerState, id: u64, stream: &mut TcpStream) -> std::io::
                     // cancels still-queued shards and frees the
                     // admission slot.
                     drop(pending);
-                    let _ = fail_job(
-                        state,
-                        stream,
-                        id,
-                        499,
-                        "client disconnected mid-stream",
-                        true,
-                    );
+                    let _ = fail_job(state, conn, id, 499, "client disconnected mid-stream", true);
                     return Err(e);
                 }
                 rows += rel.len() as u64;
@@ -463,14 +540,14 @@ fn query_rows(state: &ServerState, id: u64, stream: &mut TcpStream) -> std::io::
                         // Headers already sent: the only honest signal
                         // is a truncated chunked stream (no terminator).
                         drop(pending);
-                        return fail_job(state, stream, id, e.http_status(), &e.to_string(), true);
+                        return fail_job(state, conn, id, e.http_status(), &e.to_string(), true);
                     }
                 };
             }
             if let Err(e) = w.finish() {
                 let _ = fail_job(
                     state,
-                    stream,
+                    conn,
                     id,
                     499,
                     "client disconnected at stream end",

@@ -1,7 +1,11 @@
 //! Minimal HTTP/1.1 on blocking `std::net` sockets: just enough protocol
 //! for the query endpoints — request line + headers + `Content-Length`
 //! bodies in, fixed or chunked (`Transfer-Encoding: chunked`) responses
-//! out, one request per connection (`Connection: close`).
+//! out. Connections are kept alive for a bounded number of requests
+//! (with an idle timeout between them) unless the client asks for
+//! `Connection: close` or the server's per-connection budget runs out;
+//! bytes a client pipelines past one request's body carry over as the
+//! start of the next.
 //!
 //! The satellite edge cases live here and each maps to a precise status:
 //! oversized headers → `431`, a write body without `Content-Length` →
@@ -45,6 +49,26 @@ impl Request {
             .as_deref()
             .is_some_and(|q| q.split('&').any(|kv| kv == key || kv == format!("{key}=1")))
     }
+
+    /// `true` iff the client asked for `Connection: close`.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| {
+            v.split(',')
+                .any(|tok| tok.trim().eq_ignore_ascii_case("close"))
+        })
+    }
+}
+
+/// A live connection plus the keep-alive decision for the response being
+/// written on it. Handlers thread this through so every response frame
+/// (fixed and chunked alike) advertises the same `Connection:` fate the
+/// serve loop will honour afterwards.
+pub(crate) struct Conn<'a> {
+    pub(crate) stream: &'a mut TcpStream,
+    /// `true` → responses say `Connection: keep-alive` and the serve
+    /// loop reads another request; `false` → `Connection: close`.
+    pub(crate) keep_alive: bool,
 }
 
 /// Why a request could not be read. Every variant except
@@ -113,16 +137,22 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// Reads one request off `stream`, honouring the header/body caps. The
 /// caller is expected to have applied any read timeout to the socket.
 ///
+/// `carry` holds bytes a pipelining client sent past the previous
+/// request's `Content-Length`; they are consumed first, and any bytes
+/// past *this* request's body are left in it for the next call.
+///
 /// # Errors
 /// See [`RequestError`].
 pub fn read_request(
     stream: &mut TcpStream,
     max_header_bytes: usize,
     max_body_bytes: usize,
+    carry: &mut Vec<u8>,
 ) -> Result<Request, RequestError> {
     // Accumulate until the header terminator, capped. Tolerates bare
-    // "\n\n" from hand-rolled clients.
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    // "\n\n" from hand-rolled clients. Seeded with pipelined carry-over.
+    let mut buf: Vec<u8> = std::mem::take(carry);
+    buf.reserve(512);
     let mut chunk = [0u8; 1024];
     let header_end = loop {
         if let Some(i) = find_header_end(&buf) {
@@ -210,9 +240,10 @@ pub fn read_request(
         (false, None) => 0,
     };
 
-    // Body bytes past the header terminator may already be buffered.
+    // Body bytes past the header terminator may already be buffered;
+    // anything past `want` belongs to the next pipelined request.
     if body.len() > want {
-        return Err(RequestError::Bad("body longer than Content-Length"));
+        *carry = body.split_off(want);
     }
     while body.len() < want {
         let n = match stream.read(&mut chunk) {
@@ -226,7 +257,7 @@ pub fn read_request(
         let take = (want - body.len()).min(n);
         body.extend_from_slice(&chunk[..take]);
         if take < n {
-            return Err(RequestError::Bad("bytes past Content-Length"));
+            carry.extend_from_slice(&chunk[take..n]);
         }
     }
 
@@ -252,15 +283,20 @@ fn find_header_end(buf: &[u8]) -> Option<(usize, usize)> {
 /// returned so callers can account a vanished client, but there is
 /// nothing further to do with the connection either way.
 pub(crate) fn write_response(
-    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
     status: u16,
     reason: &str,
     content_type: &str,
     extra_headers: &[(&str, String)],
     body: &[u8],
 ) -> std::io::Result<()> {
+    let fate = if conn.keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {fate}\r\n",
         body.len()
     );
     for (k, v) in extra_headers {
@@ -270,9 +306,9 @@ pub(crate) fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
+    conn.stream.write_all(head.as_bytes())?;
+    conn.stream.write_all(body)?;
+    conn.stream.flush()
 }
 
 /// An in-progress `Transfer-Encoding: chunked` response: `start`, then
@@ -285,14 +321,19 @@ pub(crate) struct ChunkedWriter<'a> {
 impl<'a> ChunkedWriter<'a> {
     /// Writes the status line + headers and switches to chunked framing.
     pub(crate) fn start(
-        stream: &'a mut TcpStream,
+        conn: &'a mut Conn<'_>,
         status: u16,
         reason: &str,
         content_type: &str,
         extra_headers: &[(&str, String)],
     ) -> std::io::Result<ChunkedWriter<'a>> {
+        let fate = if conn.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        };
         let mut head = format!(
-            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n"
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {fate}\r\n"
         );
         for (k, v) in extra_headers {
             head.push_str(k);
@@ -301,9 +342,11 @@ impl<'a> ChunkedWriter<'a> {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.flush()?;
-        Ok(ChunkedWriter { stream })
+        conn.stream.write_all(head.as_bytes())?;
+        conn.stream.flush()?;
+        Ok(ChunkedWriter {
+            stream: &mut *conn.stream,
+        })
     }
 
     /// Writes one chunk. Empty data is skipped — a zero-length chunk

@@ -3,8 +3,8 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use wcoj_query::PendingQuery;
+use std::sync::{Arc, Mutex};
+use wcoj_query::{PendingQuery, Snapshot};
 use wcoj_storage::Relation;
 
 /// Oldest jobs are evicted past this many live entries, so a client that
@@ -16,7 +16,14 @@ pub enum Job {
     /// Submitted; rows not yet requested. Holds the live handle — if the
     /// job is evicted or the table dropped, the handle's drop cancels
     /// any still-queued shards and frees the admission slot.
-    Pending(PendingQuery),
+    Pending {
+        /// The live query handle.
+        query: PendingQuery,
+        /// The copy-on-write catalog snapshot the query was admitted
+        /// against, pinned until the rows are fetched so catalog
+        /// mutations after admission cannot touch what it reads.
+        snapshot: Arc<Snapshot>,
+    },
     /// A `/rows` fetch is in progress on some connection thread; a
     /// second concurrent fetch is refused (`409`).
     Streaming,

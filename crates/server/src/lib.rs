@@ -7,14 +7,34 @@
 //!
 //! ## Endpoints
 //!
-//! | method & path           | purpose                                           |
-//! |-------------------------|---------------------------------------------------|
-//! | `PUT /relation/{name}`  | load a CSV body as a named relation               |
-//! | `POST /query`           | submit a text query (streamed) or Datalog program |
-//! | `GET /query/{id}`       | job status; `?block=1` waits until settled        |
-//! | `GET /query/{id}/rows`  | fetch rows as chunked CSV, incrementally when the plan allows |
-//! | `GET /metrics`          | Prometheus exposition of the global registry      |
-//! | `GET /healthz`          | liveness probe                                    |
+//! | method & path                 | purpose                                           |
+//! |-------------------------------|---------------------------------------------------|
+//! | `PUT /relation/{name}`        | load a CSV body as a named relation (replace)     |
+//! | `POST /relation/{name}/rows`  | append CSV rows to an existing relation (delta)   |
+//! | `DELETE /relation/{name}/rows`| delete the CSV rows in the body from the relation |
+//! | `DELETE /relation/{name}`     | unregister a relation                             |
+//! | `POST /query`                 | submit a text query (streamed) or Datalog program |
+//! | `GET /query/{id}`             | job status; `?block=1` waits until settled        |
+//! | `GET /query/{id}/rows`        | fetch rows as chunked CSV, incrementally when the plan allows |
+//! | `GET /metrics`                | Prometheus exposition of the global registry      |
+//! | `GET /healthz`                | liveness probe                                    |
+//!
+//! ## Snapshot isolation
+//!
+//! `POST /query` pins a copy-on-write [`wcoj_query::Snapshot`] of the
+//! catalog at admission and plans against it; the snapshot stays pinned
+//! inside the job until its rows are fetched, so appends, deletes,
+//! replacements, and compactions that land *after* admission never
+//! change what an admitted query returns — even mid-stream.
+//!
+//! ## Keep-alive
+//!
+//! Connections serve up to `keep_alive_max` requests each (default 32,
+//! `WCOJ_KEEP_ALIVE_MAX`), with `idle_timeout` between requests
+//! (`WCOJ_IDLE_TIMEOUT_MS`); responses advertise `Connection:
+//! keep-alive` until the budget's last request or a client
+//! `Connection: close`. An idle expiry or FIN between requests closes
+//! the connection silently; a stall mid-request is still a `408`.
 //!
 //! ## Streaming model
 //!
@@ -228,45 +248,91 @@ fn accept_loop(
         let _ = stream.set_read_timeout(cfg.read_timeout);
         let _ = stream.set_nodelay(true);
         serve_connection(state, &mut stream, cfg);
-        // Connection: close on every response — just drop the stream.
+        // The serve loop decided the connection's fate — just drop it.
     }
 }
 
-/// Reads and answers one request (the server is `Connection: close`).
+/// Serves one connection: up to `cfg.keep_alive_max` requests with an
+/// idle timeout between them, stopping early when the client asks for
+/// `Connection: close`, a request fails to parse, or the stream ends.
+///
+/// Timing of the close matters: a stall or FIN on a connection's *first*
+/// request is a `408` or `400`, but a stall or FIN once at least one
+/// request was served is a routine end-of-conversation — closed
+/// silently, no error counter (unless pipelined bytes prove the client
+/// had started another request).
 fn serve_connection(state: &ServerState, stream: &mut TcpStream, cfg: &ServerConfig) {
-    let started = Instant::now();
-    match http::read_request(stream, cfg.max_header_bytes, cfg.max_body_bytes) {
-        Ok(req) => {
-            state.metrics.requests_total.inc();
-            let _ = handlers::handle(state, &req, stream);
-            state
-                .metrics
-                .request_us
-                .observe_duration_us(started.elapsed());
+    let budget = cfg.keep_alive_max.max(1);
+    let mut carry: Vec<u8> = Vec::new();
+    for served in 0..budget {
+        if served > 0 {
+            // Requests after the first wait under the idle timeout (the
+            // client may simply hold the connection open and walk away).
+            let _ = stream.set_read_timeout(cfg.idle_timeout.or(cfg.read_timeout));
         }
-        Err(e) => {
-            if let Some((status, _reason, message)) = e.status() {
+        let started = Instant::now();
+        let had_carry = !carry.is_empty();
+        match http::read_request(stream, cfg.max_header_bytes, cfg.max_body_bytes, &mut carry) {
+            Ok(req) => {
                 state.metrics.requests_total.inc();
-                state.metrics.errors_total.inc();
-                let _ = handlers::error_response(stream, status, &message);
-                // Lingering close: the request was refused *before*
-                // reading everything the client sent (oversized
-                // headers, refused body). Closing with unread bytes in
-                // the receive buffer would RST the connection and can
-                // discard the in-flight error response — drain
-                // (bounded by the read timeout and a byte cap) first.
-                use std::io::Read as _;
-                let _ = stream.shutdown(std::net::Shutdown::Write);
-                let mut sink = [0u8; 1024];
-                let mut drained = 0;
-                while drained < 64 * 1024 {
-                    match stream.read(&mut sink) {
-                        Ok(0) | Err(_) => break,
-                        Ok(n) => drained += n,
-                    }
+                let keep = served + 1 < budget && !req.wants_close();
+                let mut conn = http::Conn {
+                    stream,
+                    keep_alive: keep,
+                };
+                let answered = handlers::handle(state, &req, &mut conn).is_ok();
+                state
+                    .metrics
+                    .request_us
+                    .observe_duration_us(started.elapsed());
+                // Transport errors (client vanished mid-response) end
+                // the connection regardless of the keep-alive budget.
+                if !answered || !conn.keep_alive {
+                    return;
                 }
             }
-            // Disconnected / transport errors: nothing to answer.
+            Err(e) => {
+                // An idle kept-alive connection timing out or ending
+                // cleanly between requests is not an error. (With
+                // pipelined bytes already in `carry` the client *did*
+                // start another request — fall through and report.)
+                let idle_end = served > 0
+                    && !had_carry
+                    && matches!(
+                        e,
+                        http::RequestError::TimedOut | http::RequestError::Disconnected
+                    );
+                if idle_end {
+                    return;
+                }
+                if let Some((status, _reason, message)) = e.status() {
+                    state.metrics.requests_total.inc();
+                    state.metrics.errors_total.inc();
+                    let mut conn = http::Conn {
+                        stream,
+                        keep_alive: false,
+                    };
+                    let _ = handlers::error_response(&mut conn, status, &message);
+                    // Lingering close: the request was refused *before*
+                    // reading everything the client sent (oversized
+                    // headers, refused body). Closing with unread bytes
+                    // in the receive buffer would RST the connection and
+                    // can discard the in-flight error response — drain
+                    // (bounded by the read timeout and a byte cap) first.
+                    use std::io::Read as _;
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    let mut sink = [0u8; 1024];
+                    let mut drained = 0;
+                    while drained < 64 * 1024 {
+                        match stream.read(&mut sink) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => drained += n,
+                        }
+                    }
+                }
+                // Disconnected / transport errors: nothing to answer.
+                return;
+            }
         }
     }
 }

@@ -358,6 +358,90 @@ fn query_protocol_round_trip() {
     assert_eq!(got, vec!["3", "4"]);
 }
 
+#[test]
+fn row_mutation_endpoints_and_pinned_snapshots() {
+    let (server, service) = streaming_server(0);
+    let addr = server.addr();
+    let csv = edge_csv(200);
+    let query = "q(x, y) :- E(x, y).";
+    let (_, expected_before) = expected_csv(&csv, query);
+
+    let r = request(addr, "PUT", "/relation/E", Some(&csv));
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    // Mutating an unknown relation is a 404 either way.
+    let r = request(addr, "POST", "/relation/Nope/rows", Some("1,2\n"));
+    assert_eq!(r.status, 404, "{}", r.text());
+    let r = request(addr, "DELETE", "/relation/Nope", None);
+    assert_eq!(r.status, 404, "{}", r.text());
+    // Arity mismatches are refused before touching the relation.
+    let r = request(addr, "POST", "/relation/E/rows", Some("1,2,3\n"));
+    assert_eq!(r.status, 400, "{}", r.text());
+
+    // Admit a query while the single worker is occupied, so its rows
+    // stream only after the mutations below have landed.
+    let heavy = blocker(41);
+    let guard = service
+        .submit_with_cover(&heavy, None, &service.exec_config())
+        .unwrap();
+    let r = request(addr, "POST", "/query", Some(query));
+    assert_eq!(r.status, 202, "{}", r.text());
+    let pinned_id = extract_id(r.text());
+
+    // Rows appended and deleted *after* admission. 1000/1001 are far
+    // outside edge_csv's 0..40 key range, so membership is fresh.
+    let r = request(addr, "POST", "/relation/E/rows", Some("1000,1001\n"));
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("\"appended\":1"), "{}", r.text());
+    let r = request(addr, "DELETE", "/relation/E/rows", Some("1000,1001\n"));
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("\"deleted\":1"), "{}", r.text());
+    let r = request(addr, "POST", "/relation/E/rows", Some("1002,1003\n"));
+    assert_eq!(r.status, 200, "{}", r.text());
+    // Even dropping the relation cannot touch the admitted query: its
+    // snapshot holds the pre-mutation catalog alive.
+    let r = request(addr, "DELETE", "/relation/E", None);
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    drop(guard);
+    let r = request(addr, "GET", &format!("/query/{pinned_id}/rows"), None);
+    assert_eq!(r.status, 200);
+    assert!(!r.truncated);
+    assert_eq!(r.text(), expected_before, "pinned snapshot was mutated");
+
+    // A query admitted *after* the mutations sees none of E (dropped),
+    // and re-loading plus appending shows appended rows to new queries.
+    let r = request(addr, "POST", "/query", Some(query));
+    assert_eq!(r.status, 404, "{}", r.text());
+    let r = request(addr, "PUT", "/relation/E", Some(&csv));
+    assert_eq!(r.status, 200);
+    let r = request(addr, "POST", "/relation/E/rows", Some("1000,1001\n"));
+    assert_eq!(r.status, 200, "{}", r.text());
+    let with_appended = {
+        let mut csv2 = csv.clone();
+        csv2.push_str("1000,1001\n");
+        expected_csv(&csv2, query).1
+    };
+    let r = request(addr, "POST", "/query", Some(query));
+    assert_eq!(r.status, 202, "{}", r.text());
+    let id = extract_id(r.text());
+    let r = request(addr, "GET", &format!("/query/{id}/rows"), None);
+    assert_eq!(r.status, 200);
+    assert_eq!(r.text(), with_appended);
+
+    // The catalog's delta/snapshot metrics made it to the exposition.
+    let r = request(addr, "GET", "/metrics", None);
+    assert_eq!(r.status, 200);
+    assert!(
+        r.text().contains("wcoj_catalog_deltas_total"),
+        "missing delta counter"
+    );
+    assert!(
+        r.text().contains("wcoj_catalog_snapshot_age_ms"),
+        "missing snapshot age gauge"
+    );
+}
+
 fn extract_id(json: &str) -> u64 {
     let tail = json.split("\"id\":").nth(1).expect("id field");
     tail.chars()
@@ -487,6 +571,116 @@ fn mid_stream_disconnect_cancels_and_frees_the_admission_slot() {
         assert!(Instant::now() < deadline, "service never drained: {c:?}");
         std::thread::sleep(Duration::from_millis(5));
     }
+}
+
+// ------------------------------------------------------------ keep-alive
+
+/// Reads exactly one fixed-length response off an open connection,
+/// leaving the stream usable for the next request.
+fn read_one(stream: &mut TcpStream) -> Response {
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 2048];
+    loop {
+        if let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&raw[..head_end]).expect("UTF-8 head");
+            let want: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().expect("numeric length"))
+                })
+                .unwrap_or(0);
+            if raw.len() >= head_end + 4 + want {
+                return parse_response(&raw[..head_end + 4 + want]);
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "connection closed mid-response");
+        raw.extend_from_slice(&chunk[..n]);
+    }
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let server = small_caps_server();
+    let addr = server.addr();
+
+    // Several requests ride one connection; each response advertises
+    // the fate the server will follow.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for _ in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: loopback\r\n\r\n")
+            .unwrap();
+        let r = read_one(&mut stream);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("connection"), Some("keep-alive"));
+        assert_eq!(r.text(), "ok\n");
+    }
+
+    // `Connection: close` is honoured: the response says close and the
+    // server hangs up.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let r = read_one(&mut stream);
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("connection"), Some("close"));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "bytes after a Connection: close response");
+
+    // Two requests pipelined in one write both get answered (the bytes
+    // past the first request's body carry over as the second request).
+    let raw = send_raw(
+        addr,
+        b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n",
+    );
+    let first_len = {
+        let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        head_end + 3 // "ok\n"
+    };
+    let first = parse_response(&raw[..first_len]);
+    let second = parse_response(&raw[first_len..]);
+    assert_eq!((first.status, first.text()), (200, "ok\n"));
+    assert_eq!((second.status, second.text()), (200, "ok\n"));
+}
+
+#[test]
+fn keep_alive_budget_and_idle_timeout_close_the_connection() {
+    let cfg = ServerConfig {
+        bind: "127.0.0.1:0".parse().unwrap(),
+        conn_threads: 2,
+        read_timeout: Some(Duration::from_millis(300)),
+        keep_alive_max: 2,
+        idle_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with(cfg, Catalog::new()).expect("bind loopback");
+    let addr = server.addr();
+
+    // The budget's last response says close, and the server hangs up.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    assert_eq!(
+        read_one(&mut stream).header("connection"),
+        Some("keep-alive")
+    );
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    assert_eq!(read_one(&mut stream).header("connection"), Some("close"));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "served past the keep-alive budget");
+
+    // A kept-alive connection that goes idle is closed silently — no
+    // 408, no bytes, just EOF once the idle timeout lapses.
+    let mut idle = TcpStream::connect(addr).unwrap();
+    idle.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    assert_eq!(read_one(&mut idle).status, 200);
+    let mut rest = Vec::new();
+    idle.read_to_end(&mut rest).expect("clean close");
+    assert!(rest.is_empty(), "idle expiry must close silently");
 }
 
 #[test]

@@ -593,6 +593,32 @@ impl Injector {
         }
     }
 
+    /// Enqueues **auxiliary** (non-query) tasks — maintenance work such
+    /// as shard-parallel delta compaction — as a ring in the same
+    /// round-robin rotation, *without* counting a query admission:
+    /// `submitted`/`completed`/`in_flight` stay untouched, so admission
+    /// control never sheds a query because maintenance is running and
+    /// the counters snapshot keeps its `completed == submitted` idle
+    /// invariant. Workers still interleave the ring fairly with query
+    /// shards (one task per rotation turn).
+    fn push_aux_ring(&self, query: u64, tasks: VecDeque<Task>) {
+        debug_assert!(!tasks.is_empty(), "rings hold at least one task");
+        let n = tasks.len();
+        {
+            let mut q = self.lock();
+            q.queued_tasks += n;
+            q.rings.push_back(QueryRing { query, tasks });
+        }
+        if let Some(m) = self.metrics {
+            m.queued_tasks.add(n as i64);
+        }
+        if n == 1 {
+            self.task_ready.notify_one();
+        } else {
+            self.task_ready.notify_all();
+        }
+    }
+
     /// Worker side: next task — **round-robin across query rings**, one
     /// task per turn — or `None` once shut down *and* drained (pending
     /// queries always finish, so handles never dangle).
@@ -737,23 +763,27 @@ impl JobState {
     /// time `wait()` returns, the admission slot is released and the
     /// counters have settled.
     fn complete(&self, index: usize, result: Option<ShardResult>) -> bool {
-        {
-            // Both the slot write and the poison mark happen under the
-            // slots mutex, and the per-slot condvar is notified inside
-            // the same critical section: a RowStream waiter checking its
-            // slot can never miss the wakeup (it either sees the new
-            // state or is already parked when the notify fires).
-            let mut slots = self
-                .slots
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            match result {
-                Some(result) => slots[index] = Some(result),
-                None => self.poisoned.store(true, Ordering::Release),
-            }
-            self.slot_ready.notify_all();
+        // Both the slot write and the poison mark happen under the
+        // slots mutex, and the per-slot condvar is notified inside
+        // the same critical section: a RowStream waiter checking its
+        // slot can never miss the wakeup (it either sees the new
+        // state or is already parked when the notify fires). The shard
+        // is also counted down *before* the notify, in the same
+        // critical section — a stream that consumes the final slot must
+        // observe `remaining == 0` (`is_finished`) immediately, not
+        // after a window in which the worker has published rows but not
+        // yet decremented.
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match result {
+            Some(result) => slots[index] = Some(result),
+            None => self.poisoned.store(true, Ordering::Release),
         }
-        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+        let last = self.remaining.fetch_sub(1, Ordering::AcqRel) == 1;
+        self.slot_ready.notify_all();
+        last
     }
 
     /// Wakes waiters; call only after the last [`JobState::complete`].
@@ -1144,6 +1174,46 @@ enum Admission {
     Deadline(Instant),
 }
 
+/// A batch of auxiliary tasks dispatched through the pool by
+/// [`Service::run_tasks`]: a countdown latch the caller blocks on.
+/// Dropping without waiting is allowed — the tasks still run.
+pub struct TaskBatch {
+    latch: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl TaskBatch {
+    /// Blocks until every task in the batch has finished (or panicked —
+    /// a panicking task still counts down, so the batch can't hang).
+    pub fn wait(&self) {
+        let (lock, cv) = &*self.latch;
+        let mut remaining = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *remaining > 0 {
+            remaining = cv
+                .wait(remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Counts a [`TaskBatch`] task down on drop, so a panic inside the task
+/// body still releases the latch.
+struct LatchGuard(Arc<(Mutex<usize>, Condvar)>);
+
+impl Drop for LatchGuard {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.0;
+        let mut remaining = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *remaining -= 1;
+        if *remaining == 0 {
+            cv.notify_all();
+        }
+    }
+}
+
 /// A long-lived executor owning one global worker pool; queries from any
 /// thread share it. See the crate docs for the scheduling model
 /// (round-robin fair dispatch, bounded admission, cancellation).
@@ -1235,6 +1305,38 @@ impl Service {
             in_flight: q.in_flight,
             queued_tasks: q.queued_tasks,
         }
+    }
+
+    /// Runs a batch of independent closures on the worker pool as one
+    /// auxiliary ring — the injector-task path maintenance work (delta
+    /// compaction chunks, index rebuilds) uses to share workers with
+    /// queries instead of spawning threads. The batch **bypasses
+    /// admission control** and the submitted/completed counters: it is
+    /// not a query, and it must not be shed or block behind queue-depth
+    /// limits it doesn't consume.
+    ///
+    /// Returns a [`TaskBatch`]; call [`TaskBatch::wait`] to block until
+    /// every closure has run. Panicking closures are caught by the
+    /// worker (and still count down), like panicking query shards.
+    /// Empty batches return an already-settled latch.
+    #[must_use]
+    pub fn run_tasks(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>) -> TaskBatch {
+        let latch = Arc::new((Mutex::new(tasks.len()), Condvar::new()));
+        if tasks.is_empty() {
+            return TaskBatch { latch };
+        }
+        let ring: VecDeque<Task> = tasks
+            .into_iter()
+            .map(|task| {
+                let guard = LatchGuard(Arc::clone(&latch));
+                Box::new(move || {
+                    let _count_down = guard;
+                    task();
+                }) as Task
+            })
+            .collect();
+        self.injector.push_aux_ring(next_query_id(), ring);
+        TaskBatch { latch }
     }
 
     /// The service's default per-query planning config (its `threads`
@@ -1483,7 +1585,7 @@ impl Service {
 
         // Degenerate inputs resolve immediately — no tasks, no workers
         // (and no shard plan: `planned` stays unset).
-        if prepared.query().relations().iter().any(Relation::is_empty) {
+        if prepared.input_is_empty() {
             return self.accept_ready(
                 query_id,
                 submit_start,
@@ -1738,6 +1840,43 @@ mod tests {
 
     fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
         Relation::from_u32_rows(Schema::of(schema), rows)
+    }
+
+    #[test]
+    fn run_tasks_executes_all_without_counting_a_query() {
+        let service = Service::new(ServiceConfig::with_workers(2));
+        let before = service.counters();
+        let hits = Arc::new(AtomicU64::new(0));
+        let batch = service.run_tasks(
+            (0..16)
+                .map(|_| {
+                    let hits = Arc::clone(&hits);
+                    Box::new(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect(),
+        );
+        batch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        let after = service.counters();
+        assert_eq!(after.submitted, before.submitted, "not a query");
+        assert_eq!(after.in_flight, 0);
+        assert_eq!(after.queued_tasks, 0, "ring fully drained");
+        // empty batches settle immediately
+        service.run_tasks(Vec::new()).wait();
+        // a panicking task still counts down — wait() must not hang
+        let batch = service.run_tasks(vec![
+            Box::new(|| panic!("maintenance task blew up")) as Box<dyn FnOnce() + Send>,
+            Box::new(|| {}) as Box<dyn FnOnce() + Send>,
+        ]);
+        batch.wait();
+        // queries keep working after an aux panic
+        let rels = triangle();
+        let prepared = Arc::new(PreparedQuery::new(&rels).unwrap());
+        let cfg = service.exec_config();
+        let out = service.submit(&prepared, &cfg).unwrap().wait().unwrap();
+        assert!(!out.relation.is_empty());
     }
 
     fn triangle() -> Vec<Relation> {

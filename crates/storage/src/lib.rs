@@ -28,11 +28,15 @@
 //! * [`FlatIndex`] — the same shape with a cache-friendly **flat columnar**
 //!   layout: contiguous sorted value arrays per level plus offset ranges
 //!   instead of node/parent pointers, with [`gallop`]ing lookups;
+//! * [`DeltaRelation`] / [`DeltaIndex`] — a mutable view over a frozen,
+//!   `Arc`-shared base: sorted insert/delete buffers merged with the base
+//!   index at scan time, plus shard-parallelisable minor compaction;
 //! * [`gallop`] — exponential search and adaptive intersection over sorted
 //!   slices, shared by the flat backend and the engine's scan sites;
 //! * [`hash`] — a fast non-cryptographic hasher (`FxHashMap`/`FxHashSet`)
 //!   so join keys are not bottlenecked on SipHash.
 
+mod delta;
 mod flat;
 pub mod gallop;
 pub mod hash;
@@ -45,6 +49,7 @@ mod schema;
 mod trie;
 mod value;
 
+pub use delta::{DeltaIndex, DeltaNode, DeltaRelation, MergeChunk};
 pub use flat::{FlatIndex, FlatNode};
 pub use index::{HashTrieIndex, SearchTree};
 pub use relation::{Relation, RowSet};
